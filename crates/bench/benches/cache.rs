@@ -1,0 +1,74 @@
+//! Simulator-substrate benchmarks: hierarchy walk throughput on hit-heavy,
+//! miss-heavy and MNM-bypassed reference streams.
+
+use cache_sim::{Access, BypassSet, Hierarchy, HierarchyConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mnm_core::{Mnm, MnmConfig};
+
+fn hot_addrs(n: usize) -> Vec<u64> {
+    (0..n).map(|i| ((i * 32) % 2048) as u64).collect()
+}
+
+fn cold_addrs(n: usize) -> Vec<u64> {
+    let mut x = 0x9E37_79B9u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % (1 << 26)) & !31
+        })
+        .collect()
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_access");
+    let hot = hot_addrs(4096);
+    let cold = cold_addrs(4096);
+
+    group.bench_function("l1_hits", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        for &a in &hot {
+            h.access(Access::load(a), &BypassSet::none());
+        }
+        b.iter(|| {
+            for &a in &hot {
+                black_box(h.access(Access::load(black_box(a)), &BypassSet::none()).latency);
+            }
+        })
+    });
+
+    group.bench_function("full_walk_misses", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        b.iter(|| {
+            for &a in &cold {
+                black_box(h.access(Access::load(black_box(a)), &BypassSet::none()).latency);
+            }
+        })
+    });
+
+    group.bench_function("mnm_guarded_walk", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut mnm = Mnm::new(&h, MnmConfig::hmnm(4));
+        b.iter(|| {
+            for &a in &cold {
+                black_box(mnm.run_access(&mut h, Access::load(black_box(a))).latency);
+            }
+        })
+    });
+
+    group.bench_function("perfect_oracle_walk", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        b.iter(|| {
+            for &a in &cold {
+                let access = Access::load(black_box(a));
+                let bypass = mnm_core::perfect_bypass(&h, access);
+                black_box(h.access(access, &bypass).latency);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

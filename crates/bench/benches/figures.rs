@@ -1,0 +1,64 @@
+//! Scaled-down end-to-end benches, one per paper artifact (Figures 2–3,
+//! Table 2, Figures 10–16): each measures the cost of regenerating a
+//! miniature version of the corresponding result. The full-size outputs
+//! come from the `mnm-experiments` binaries; these benches track the
+//! harness's own performance per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnm_experiments::ablation;
+use mnm_experiments::coverage::coverage_table;
+use mnm_experiments::depth::depth_fractions;
+use mnm_experiments::power::power_reduction_table;
+use mnm_experiments::timing::{characteristics_table, execution_reduction_table};
+use mnm_experiments::{RunParams, FIG10_CONFIGS, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS, FIG14_CONFIGS};
+
+fn tiny() -> RunParams {
+    RunParams { warmup: 1_000, measure: 8_000 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration");
+    group.sample_size(10);
+
+    group.bench_function("fig02_fig03_depth_fractions", |b| {
+        b.iter(|| depth_fractions(tiny()))
+    });
+    group.bench_function("table2_characteristics", |b| {
+        b.iter(|| characteristics_table(tiny()))
+    });
+    group.bench_function("fig10_rmnm_coverage", |b| {
+        b.iter(|| coverage_table("fig10", &FIG10_CONFIGS, tiny()))
+    });
+    group.bench_function("fig11_smnm_coverage", |b| {
+        b.iter(|| coverage_table("fig11", &FIG11_CONFIGS, tiny()))
+    });
+    group.bench_function("fig12_tmnm_coverage", |b| {
+        b.iter(|| coverage_table("fig12", &FIG12_CONFIGS, tiny()))
+    });
+    group.bench_function("fig13_cmnm_coverage", |b| {
+        b.iter(|| coverage_table("fig13", &FIG13_CONFIGS, tiny()))
+    });
+    group.bench_function("fig14_hmnm_coverage", |b| {
+        b.iter(|| coverage_table("fig14", &FIG14_CONFIGS, tiny()))
+    });
+    group.bench_function("fig15_execution_reduction", |b| {
+        b.iter(|| execution_reduction_table(tiny()))
+    });
+    group.bench_function("fig16_power_reduction", |b| {
+        b.iter(|| power_reduction_table(tiny()))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_regeneration");
+    group.sample_size(10);
+    group.bench_function("abl02_counter_width", |b| {
+        b.iter(|| ablation::counter_width_table(tiny()))
+    });
+    group.bench_function("abl05_inclusion", |b| b.iter(|| ablation::inclusion_table(tiny())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the individual MNM techniques: query and update
+//! throughput at the paper's configuration points. The paper's premise is
+//! that MNM structures are much faster than the caches they guard; these
+//! benches quantify the software-model cost per operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mnm_core::{Cmnm, CmnmConfig, MissFilter, Rmnm, RmnmConfig, SmnmConfig, SmnmFilter, TmnmConfig, TmnmFilter};
+
+/// A deterministic pseudo-random block-address stream with reuse.
+fn addr_stream(n: usize) -> Vec<u64> {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 0x40_0000
+        })
+        .collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut group = c.benchmark_group("filter_query");
+
+    let mut tmnm = TmnmFilter::new(TmnmConfig::new(12, 3));
+    let mut cmnm = Cmnm::new(CmnmConfig::new(8, 12));
+    let mut smnm = SmnmFilter::new(SmnmConfig::new(20, 3));
+    for &a in &addrs[..2048] {
+        tmnm.on_place(a);
+        cmnm.on_place(a);
+        smnm.on_place(a);
+    }
+
+    group.bench_function("TMNM_12x3", |b| {
+        b.iter(|| addrs.iter().filter(|&&a| tmnm.is_definite_miss(black_box(a))).count())
+    });
+    group.bench_function("CMNM_8_12", |b| {
+        b.iter(|| addrs.iter().filter(|&&a| cmnm.is_definite_miss(black_box(a))).count())
+    });
+    group.bench_function("SMNM_20x3", |b| {
+        b.iter(|| addrs.iter().filter(|&&a| smnm.is_definite_miss(black_box(a))).count())
+    });
+
+    let mut rmnm = Rmnm::new(RmnmConfig::new(4096, 8), 5);
+    for &a in &addrs[..2048] {
+        rmnm.on_replace((a % 5) as usize, a);
+    }
+    group.bench_function("RMNM_4096_8", |b| {
+        b.iter(|| addrs.iter().filter(|&&a| rmnm.is_definite_miss(3, black_box(a))).count())
+    });
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut group = c.benchmark_group("filter_update");
+
+    group.bench_function("TMNM_12x3 place+replace", |b| {
+        let mut f = TmnmFilter::new(TmnmConfig::new(12, 3));
+        b.iter(|| {
+            for &a in &addrs {
+                f.on_place(black_box(a));
+            }
+            for &a in &addrs {
+                f.on_replace(black_box(a));
+            }
+        })
+    });
+    group.bench_function("CMNM_8_12 place+replace", |b| {
+        let mut f = Cmnm::new(CmnmConfig::new(8, 12));
+        b.iter(|| {
+            for &a in &addrs {
+                f.on_place(black_box(a));
+            }
+            for &a in &addrs {
+                f.on_replace(black_box(a));
+            }
+        })
+    });
+    group.bench_function("RMNM_4096_8 replace+place", |b| {
+        let mut f = Rmnm::new(RmnmConfig::new(4096, 8), 5);
+        b.iter(|| {
+            for &a in &addrs {
+                f.on_replace(2, black_box(a));
+            }
+            for &a in &addrs {
+                f.on_place(2, black_box(a));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_updates);
+criterion_main!(benches);

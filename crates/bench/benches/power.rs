@@ -1,0 +1,69 @@
+//! Energy-model and TLB-substrate benchmarks.
+
+use cache_sim::{CacheConfig, TwoLevelTlb};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mnm_core::{BloomConfig, BloomFilter, MissFilter};
+use power_model::EnergyModel;
+
+fn bench_energy_model(c: &mut Criterion) {
+    let model = EnergyModel::default();
+    let configs: Vec<CacheConfig> = vec![
+        CacheConfig::new("l1", 4 * 1024, 1, 32, 2),
+        CacheConfig::new("l2", 16 * 1024, 2, 32, 8),
+        CacheConfig::new("l3", 128 * 1024, 4, 64, 18),
+        CacheConfig::new("l4", 512 * 1024, 4, 128, 34),
+        CacheConfig::new("l5", 2 * 1024 * 1024, 8, 128, 70),
+    ];
+    let mut group = c.benchmark_group("energy_model");
+    group.bench_function("cache_read_energy_5_levels", |b| {
+        b.iter(|| configs.iter().map(|cfg| model.cache_read_energy(black_box(cfg))).sum::<f64>())
+    });
+    group.bench_function("small_array_energy", |b| {
+        b.iter(|| {
+            [768u64, 9216, 36864, 98304]
+                .iter()
+                .map(|&bits| model.small_array_energy(black_box(bits)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("two_level_translate", |b| {
+        let mut tlb = TwoLevelTlb::typical();
+        let mut events = Vec::new();
+        let mut x = 0x1357_9BDFu64;
+        b.iter(|| {
+            let mut walks = 0u64;
+            for _ in 0..4096 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                events.clear();
+                let r = tlb.translate(black_box(x % (1 << 28)), false, &mut events);
+                walks += u64::from(r.supply_level == 3);
+            }
+            walks
+        })
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_filter");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("BLOOM_13x4 query", |b| {
+        let mut f = BloomFilter::new(BloomConfig::new(13, 4));
+        for i in 0..2048u64 {
+            f.on_place(i * 37);
+        }
+        b.iter(|| (0..4096u64).filter(|&i| f.is_definite_miss(black_box(i * 53))).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_model, bench_tlb, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Workload-generator and timing-model throughput benchmarks.
+
+use cache_sim::{Hierarchy, HierarchyConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ooo_model::{simulate, CpuConfig, MemPolicy};
+use trace_synth::{profiles, Program};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(100_000));
+    for name in ["164.gzip", "181.mcf", "171.swim"] {
+        group.bench_function(name, |b| {
+            let profile = profiles::by_name(name).unwrap();
+            b.iter(|| {
+                let program = Program::new(profile.clone());
+                let mut sum = 0u64;
+                for instr in program.take(100_000) {
+                    sum = sum.wrapping_add(black_box(instr.pc));
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ooo_simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(50_000));
+    for name in ["164.gzip", "181.mcf"] {
+        group.bench_function(name, |b| {
+            let profile = profiles::by_name(name).unwrap();
+            let cpu = CpuConfig::paper_eight_way();
+            b.iter(|| {
+                let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+                simulate(&cpu, &mut hier, MemPolicy::Baseline, Program::new(profile.clone()), 50_000)
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_timing_model);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # mnm-bench
+//!
+//! Criterion benchmark crate. All content lives in `benches/`:
+//!
+//! * `filters` — per-technique query/update micro-benchmarks;
+//! * `cache` — hierarchy walk throughput (hits, misses, bypassed walks);
+//! * `trace` — workload generation and OoO-model throughput;
+//! * `figures` — scaled-down end-to-end regeneration of every paper
+//!   artifact (Figures 2-3, Table 2, Figures 10-16) plus two ablations.
+//!
+//! Run with `cargo bench --workspace`. The full-size figure outputs come
+//! from the `mnm-experiments` binaries, not from these benches.

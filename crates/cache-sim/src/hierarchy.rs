@@ -1,0 +1,611 @@
+//! The multi-level cache hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{Access, AccessResult, BypassSet, ProbeOutcome, ProbeRecord};
+use crate::cache::Cache;
+use crate::config::{HierarchyConfig, LevelConfig};
+use crate::events::{CacheEvent, EventKind};
+use crate::stats::HierarchyStats;
+
+/// Opaque index identifying one cache structure in a hierarchy
+/// (e.g. in the paper's 5-level processor there are 7 structures:
+/// il1, dl1, il2, dl2, ul3, ul4, ul5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StructureId(usize);
+
+impl StructureId {
+    /// Build a structure id from a raw index.
+    pub fn new(index: usize) -> Self {
+        StructureId(index)
+    }
+
+    /// The raw index, usable into [`Hierarchy::structures`] and
+    /// [`HierarchyStats::structures`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static facts about one structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureInfo {
+    /// The structure's id.
+    pub id: StructureId,
+    /// 1-based cache level.
+    pub level: u8,
+    /// Structure name from its configuration ("dl1", "ul3", ...).
+    pub name: String,
+    /// Line size in bytes.
+    pub block_bytes: u64,
+    /// Whether this structure serves only the instruction path
+    /// (false for data-side and unified structures).
+    pub instr_only: bool,
+    /// Whether this structure serves only the data path.
+    pub data_only: bool,
+}
+
+/// A multi-level cache hierarchy with split/unified levels, a
+/// non-inclusive fill policy and probe-level bypass.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    caches: Vec<Cache>,
+    infos: Vec<StructureInfo>,
+    instr_path: Vec<StructureId>,
+    data_path: Vec<StructureId>,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Build an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`HierarchyConfig::validate`].
+    pub fn new(config: HierarchyConfig) -> Self {
+        config.validate().expect("invalid hierarchy configuration");
+        let mut caches = Vec::new();
+        let mut infos = Vec::new();
+        let mut instr_path = Vec::new();
+        let mut data_path = Vec::new();
+
+        for (level_idx, level) in config.levels.iter().enumerate() {
+            let level_no = (level_idx + 1) as u8;
+            match level {
+                LevelConfig::Split { instr, data } => {
+                    let iid = StructureId(caches.len());
+                    infos.push(StructureInfo {
+                        id: iid,
+                        level: level_no,
+                        name: instr.name.clone(),
+                        block_bytes: instr.block_bytes,
+                        instr_only: true,
+                        data_only: false,
+                    });
+                    caches.push(Cache::new(instr.clone()));
+                    instr_path.push(iid);
+
+                    let did = StructureId(caches.len());
+                    infos.push(StructureInfo {
+                        id: did,
+                        level: level_no,
+                        name: data.name.clone(),
+                        block_bytes: data.block_bytes,
+                        instr_only: false,
+                        data_only: true,
+                    });
+                    caches.push(Cache::new(data.clone()));
+                    data_path.push(did);
+                }
+                LevelConfig::Unified(cfg) => {
+                    let id = StructureId(caches.len());
+                    infos.push(StructureInfo {
+                        id,
+                        level: level_no,
+                        name: cfg.name.clone(),
+                        block_bytes: cfg.block_bytes,
+                        instr_only: false,
+                        data_only: false,
+                    });
+                    caches.push(Cache::new(cfg.clone()));
+                    instr_path.push(id);
+                    data_path.push(id);
+                }
+            }
+        }
+
+        let stats = HierarchyStats::new(caches.len(), config.levels.len());
+        Hierarchy { config, caches, infos, instr_path, data_path, stats }
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Static descriptions of every structure, indexed by
+    /// [`StructureId::index`].
+    pub fn structures(&self) -> &[StructureInfo] {
+        &self.infos
+    }
+
+    /// The cache object behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this hierarchy.
+    pub fn cache(&self, id: StructureId) -> &Cache {
+        &self.caches[id.0]
+    }
+
+    /// Number of cache levels.
+    pub fn num_levels(&self) -> usize {
+        self.config.levels.len()
+    }
+
+    /// The pseudo-level representing main memory
+    /// (`num_levels() + 1`, 1-based).
+    pub fn memory_level(&self) -> u8 {
+        (self.num_levels() + 1) as u8
+    }
+
+    /// Ordered structure path for instruction or data references.
+    pub fn path(&self, kind: crate::AccessKind) -> &[StructureId] {
+        if kind.is_instruction() {
+            &self.instr_path
+        } else {
+            &self.data_path
+        }
+    }
+
+    /// The line size of the level-2 structures, the MNM's working
+    /// granularity (paper §3.1). Falls back to the L1 line size in
+    /// single-level hierarchies.
+    pub fn mnm_granularity(&self) -> u64 {
+        let level = if self.num_levels() >= 2 { 2 } else { 1 };
+        self.infos
+            .iter()
+            .find(|i| i.level == level)
+            .map(|i| i.block_bytes)
+            .expect("hierarchy has at least one level")
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Reset statistics, keeping cache contents (used after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::new(self.caches.len(), self.num_levels());
+    }
+
+    /// Whether the block containing `addr` is resident in `id`. Never
+    /// perturbs replacement state.
+    pub fn contains(&self, id: StructureId, addr: u64) -> bool {
+        self.caches[id.0].contains(addr)
+    }
+
+    /// Dry-run: which structures on the access path would be probed and
+    /// miss before the supplying level, without touching any state.
+    /// This is the oracle behind the *perfect MNM* (paper §4.3).
+    ///
+    /// The first level is never included: the paper does not predict L1
+    /// misses.
+    pub fn dry_run_misses(&self, access: Access) -> Vec<StructureId> {
+        let path = self.path(access.kind);
+        let mut missing = Vec::new();
+        for &sid in path {
+            if self.caches[sid.0].contains(access.addr) {
+                return missing;
+            }
+            if self.infos[sid.0].level > 1 {
+                missing.push(sid);
+            }
+        }
+        missing
+    }
+
+    /// Drive one access through the hierarchy.
+    ///
+    /// Structures in `bypass` (other than level 1, which is always probed)
+    /// are skipped: they contribute no latency and no probe count. The
+    /// caller guarantees — and debug builds verify — that bypassed
+    /// structures do not hold the block; this is the MNM's soundness
+    /// contract (paper §3.6).
+    ///
+    /// On a miss, the block is filled into every structure on the path
+    /// closer to the core than the supplier (non-inclusive refill), each at
+    /// its own line size; fills and the evictions they cause are reported
+    /// in [`AccessResult`]-ordered [`CacheEvent`]s through `events`.
+    pub fn access_with_events(
+        &mut self,
+        access: Access,
+        bypass: &BypassSet,
+        events: &mut Vec<CacheEvent>,
+    ) -> AccessResult {
+        let path = if access.kind.is_instruction() {
+            &self.instr_path
+        } else {
+            &self.data_path
+        };
+
+        let mut probes = Vec::with_capacity(path.len());
+        let mut latency = 0u64;
+        let mut miss_latency = 0u64;
+        let mut misses = 0u32;
+        let mut bypassed = 0u32;
+        let mut supply_level = self.memory_level();
+
+        for &sid in path.iter() {
+            let level = self.infos[sid.0].level;
+            if level > 1 && bypass.contains(sid) {
+                debug_assert!(
+                    !self.caches[sid.0].contains(access.addr),
+                    "unsound bypass: {} holds {:#x}",
+                    self.infos[sid.0].name,
+                    access.addr
+                );
+                self.stats.structures[sid.0].bypasses += 1;
+                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Bypassed, latency: 0 });
+                continue;
+            }
+            let was_mru = self.caches[sid.0].mru_way_correct(access.addr);
+            let cache = &mut self.caches[sid.0];
+            let hit = cache.lookup(access.addr).hit;
+            let st = &mut self.stats.structures[sid.0];
+            st.probes += 1;
+            if hit {
+                st.hits += 1;
+                if was_mru {
+                    st.mru_hits += 1;
+                }
+                let lat = cache.config().hit_latency;
+                latency += lat;
+                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Hit, latency: lat });
+                supply_level = level;
+                break;
+            } else {
+                st.misses += 1;
+                misses += 1;
+                let lat = cache.config().miss_latency;
+                latency += lat;
+                miss_latency += lat;
+                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Miss, latency: lat });
+            }
+        }
+
+        if supply_level == self.memory_level() {
+            latency += self.config.memory_latency;
+            self.stats.memory_supplies += 1;
+        }
+        bypassed += probes.iter().filter(|p| p.outcome == ProbeOutcome::Bypassed).count() as u32;
+
+        // Refill: install the block into every structure on the path below
+        // the supplier (missed or bypassed alike — the refill travels back
+        // through them).
+        let path_owned: Vec<StructureId> =
+            if access.kind.is_instruction() { self.instr_path.clone() } else { self.data_path.clone() };
+        for &sid in &path_owned {
+            let level = self.infos[sid.0].level;
+            if level >= supply_level {
+                break;
+            }
+            self.fill_structure(sid, access.addr, events);
+        }
+
+        // Write handling: a store dirties the first data-side structure
+        // holding the block (write-back) or is propagated immediately
+        // (write-through, counted as a writeback at the L1 for energy).
+        if access.kind == crate::AccessKind::Store {
+            let first = self.data_path[0];
+            match self.caches[first.0].config().write_policy {
+                crate::WritePolicy::WriteBack => {
+                    self.caches[first.0].mark_dirty(access.addr);
+                }
+                crate::WritePolicy::WriteThrough => {
+                    self.stats.structures[first.0].writebacks += 1;
+                }
+            }
+        }
+
+        // Bookkeeping.
+        self.stats.accesses += 1;
+        if access.kind.is_instruction() {
+            self.stats.instr_accesses += 1;
+        } else {
+            self.stats.data_accesses += 1;
+        }
+        self.stats.total_latency += latency;
+        self.stats.miss_latency += miss_latency;
+        self.stats.supplies_by_level[(supply_level - 1) as usize] += 1;
+
+        AccessResult { supply_level, latency, probes, misses, bypassed }
+    }
+
+    fn fill_structure(&mut self, sid: StructureId, addr: u64, events: &mut Vec<CacheEvent>) {
+        let block_bytes = self.caches[sid.0].config().block_bytes;
+        let block_base = addr & !(block_bytes - 1);
+        let already = self.caches[sid.0].contains(addr);
+        let victim = self.caches[sid.0].fill(addr);
+        if already {
+            return;
+        }
+        self.stats.structures[sid.0].fills += 1;
+        if let Some(victim) = victim {
+            self.stats.structures[sid.0].evictions += 1;
+            if victim.dirty {
+                // Write-back traffic: counted and charged by the power
+                // model as a write at the next level; contents there are
+                // not modelled (write-no-allocate for writebacks), so MNM
+                // soundness is unaffected.
+                self.stats.structures[sid.0].writebacks += 1;
+            }
+            events.push(CacheEvent {
+                structure: sid,
+                kind: EventKind::Replaced,
+                block_base: victim.block_base,
+                block_bytes,
+            });
+            if self.config.inclusive {
+                self.back_invalidate(sid, victim.block_base, block_bytes, events);
+            }
+        }
+        events.push(CacheEvent { structure: sid, kind: EventKind::Placed, block_base, block_bytes });
+    }
+
+    /// Inclusive-mode ablation: evicting from an outer level invalidates
+    /// the block in every structure at a strictly closer level.
+    fn back_invalidate(
+        &mut self,
+        from: StructureId,
+        victim_base: u64,
+        victim_bytes: u64,
+        events: &mut Vec<CacheEvent>,
+    ) {
+        let from_level = self.infos[from.0].level;
+        for idx in 0..self.caches.len() {
+            if self.infos[idx].level >= from_level {
+                continue;
+            }
+            let inner_bytes = self.caches[idx].config().block_bytes;
+            // Invalidate every inner block covered by the victim line.
+            let count = (victim_bytes / inner_bytes).max(1);
+            for i in 0..count {
+                let a = victim_base + i * inner_bytes;
+                if self.caches[idx].invalidate(a) {
+                    events.push(CacheEvent {
+                        structure: StructureId(idx),
+                        kind: EventKind::Replaced,
+                        block_base: a & !(inner_bytes - 1),
+                        block_bytes: inner_bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`Hierarchy::access_with_events`] that
+    /// discards the event stream.
+    pub fn access(&mut self, access: Access, bypass: &BypassSet) -> AccessResult {
+        let mut events = Vec::new();
+        self.access_with_events(access, bypass, &mut events)
+    }
+
+    /// Flush every cache and reset statistics.
+    pub fn flush(&mut self) {
+        for c in &mut self.caches {
+            c.flush();
+        }
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig, LevelConfig};
+
+    fn tiny_two_level() -> Hierarchy {
+        // L1: 2 sets x 1 way x 32B (64B); L2: 4 sets x 2 ways x 32B (256B).
+        Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 256, 2, 32, 8)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        })
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_and_fills_path() {
+        let mut h = tiny_two_level();
+        let mut ev = Vec::new();
+        let r = h.access_with_events(Access::load(0x1000), &BypassSet::none(), &mut ev);
+        assert_eq!(r.supply_level, 3); // memory
+        assert_eq!(r.latency, 2 + 8 + 100);
+        assert_eq!(r.misses, 2);
+        // Filled into dl1 and ul2.
+        assert_eq!(ev.iter().filter(|e| e.kind == EventKind::Placed).count(), 2);
+        let r2 = h.access(Access::load(0x1000), &BypassSet::none());
+        assert_eq!(r2.supply_level, 1);
+        assert_eq!(r2.latency, 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_conflict() {
+        let mut h = tiny_two_level();
+        h.access(Access::load(0x0000), &BypassSet::none());
+        // 0x0040 conflicts with 0x0000 in the 2-set L1 but not in the 4-set L2.
+        h.access(Access::load(0x0040), &BypassSet::none());
+        let r = h.access(Access::load(0x0000), &BypassSet::none());
+        assert_eq!(r.supply_level, 2);
+        assert_eq!(r.latency, 2 + 8);
+    }
+
+    #[test]
+    fn bypass_skips_probe_and_latency() {
+        let mut h = tiny_two_level();
+        // Cold access with L2 flagged as a sure miss.
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        let mut bypass = BypassSet::none();
+        bypass.insert(ul2);
+        let r = h.access(Access::load(0x2000), &bypass);
+        assert_eq!(r.supply_level, 3);
+        assert_eq!(r.latency, 2 + 100); // no 8-cycle L2 miss-detect
+        assert_eq!(r.bypassed, 1);
+        assert_eq!(h.stats().structures[ul2.index()].bypasses, 1);
+        // Refill still installed the block in the bypassed level.
+        assert!(h.contains(ul2, 0x2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsound bypass")]
+    #[cfg(debug_assertions)]
+    fn unsound_bypass_is_caught() {
+        let mut h = tiny_two_level();
+        h.access(Access::load(0x3000), &BypassSet::none());
+        // Evict from L1 (2 sets): 0x3040 maps to the other set; use 0x3080
+        // which shares L1 set 0 with 0x3000 (64B L1, 32B lines => sets by
+        // bit 5). 0x3000 set = (0x3000>>5)&1 = 0; 0x3080 set = 0.
+        h.access(Access::load(0x3080), &BypassSet::none());
+        // 0x3000 is now only in ul2; bypassing ul2 is unsound.
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        let mut bypass = BypassSet::none();
+        bypass.insert(ul2);
+        h.access(Access::load(0x3000), &bypass);
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_disjoint_at_l1() {
+        let mut h = tiny_two_level();
+        h.access(Access::fetch(0x4000), &BypassSet::none());
+        let il1 = h.structures().iter().find(|s| s.name == "il1").unwrap().id;
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        assert!(h.contains(il1, 0x4000));
+        assert!(!h.contains(dl1, 0x4000));
+        // Unified L2 serves both.
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        assert!(h.contains(ul2, 0x4000));
+        let r = h.access(Access::load(0x4000), &BypassSet::none());
+        assert_eq!(r.supply_level, 2);
+    }
+
+    #[test]
+    fn dry_run_matches_actual_misses() {
+        let mut h = tiny_two_level();
+        h.access(Access::load(0x5000), &BypassSet::none());
+        // A fresh address misses everywhere: dry run reports ul2 only
+        // (L1 is excluded).
+        let misses = h.dry_run_misses(Access::load(0x6000));
+        assert_eq!(misses.len(), 1);
+        assert_eq!(h.structures()[misses[0].index()].name, "ul2");
+        // The resident address reports no predictable misses.
+        assert!(h.dry_run_misses(Access::load(0x5000)).is_empty());
+    }
+
+    #[test]
+    fn replacement_events_are_emitted() {
+        let mut h = tiny_two_level();
+        let mut ev = Vec::new();
+        // L1 has 2 sets; 0x0000 and 0x0080 share set 0 (stride 64 covers
+        // both sets, stride 128 aliases).
+        h.access_with_events(Access::load(0x0000), &BypassSet::none(), &mut ev);
+        ev.clear();
+        h.access_with_events(Access::load(0x0080), &BypassSet::none(), &mut ev);
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        let replaced: Vec<_> = ev
+            .iter()
+            .filter(|e| e.kind == EventKind::Replaced && e.structure == dl1)
+            .collect();
+        assert_eq!(replaced.len(), 1);
+        assert_eq!(replaced[0].block_base, 0x0000);
+    }
+
+    #[test]
+    fn paper_config_supplies_accumulate() {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        // Stride 128 = the largest line size, so every access is a fresh
+        // block at every level (pure cold misses).
+        for i in 0..100u64 {
+            h.access(Access::load(i * 128), &BypassSet::none());
+        }
+        let s = h.stats();
+        assert_eq!(s.accesses, 100);
+        assert_eq!(s.supplies_by_level.iter().sum::<u64>(), 100);
+        assert_eq!(s.memory_supplies, 100); // all cold
+        assert_eq!(s.mean_access_time(), (2 + 8 + 18 + 34 + 70 + 320) as f64);
+    }
+
+    #[test]
+    fn inclusive_mode_back_invalidates() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 1),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 1),
+                },
+                // Direct-mapped 2-set L2 to force quick evictions.
+                LevelConfig::Unified(CacheConfig::new("ul2", 64, 1, 32, 2)),
+            ],
+            memory_latency: 10,
+            inclusive: true,
+        });
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        h.access(Access::load(0x0000), &BypassSet::none());
+        assert!(h.contains(dl1, 0x0000));
+        // 0x0040 evicts 0x0000 from the 2-set L2 (sets by bit 5: both map
+        // to set 0? 0x0000>>5=0 set0; 0x0040>>5=2 set0). Yes: set 0.
+        h.access(Access::load(0x0040), &BypassSet::none());
+        assert!(!h.contains(dl1, 0x0000), "inclusive eviction must back-invalidate L1");
+    }
+
+    #[test]
+    fn dirty_evictions_count_as_writebacks() {
+        let mut h = tiny_two_level();
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        // Write a block, then evict it from the 2-set dl1 with an alias.
+        h.access(Access::store(0x0000), &BypassSet::none());
+        assert!(h.cache(dl1).is_dirty(0x0000));
+        h.access(Access::load(0x0080), &BypassSet::none()); // same dl1 set
+        assert_eq!(h.stats().structures[dl1.index()].writebacks, 1);
+        // Clean evictions don't count: read-only traffic.
+        h.access(Access::load(0x0000), &BypassSet::none());
+        assert_eq!(h.stats().structures[dl1.index()].writebacks, 1);
+    }
+
+    #[test]
+    fn write_through_counts_stores_not_evictions() {
+        let mut cfg = HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2)
+                        .with_write_policy(crate::WritePolicy::WriteThrough),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 256, 2, 32, 8)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        };
+        cfg.validate().unwrap();
+        let mut h = Hierarchy::new(cfg);
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        for _ in 0..5 {
+            h.access(Access::store(0x40), &BypassSet::none());
+        }
+        assert_eq!(h.stats().structures[dl1.index()].writebacks, 5);
+        assert!(!h.cache(dl1).is_dirty(0x40), "write-through leaves blocks clean");
+    }
+
+    #[test]
+    fn mnm_granularity_is_l2_block() {
+        let h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        assert_eq!(h.mnm_granularity(), 32);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the cache simulator's core invariants.
+
+use cache_sim::{
+    Access, AccessKind, BypassSet, Cache, CacheConfig, CacheEvent, EventKind, Hierarchy,
+    HierarchyConfig, LevelConfig, ReplacementPolicy,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn small_config(assoc: u32, policy: ReplacementPolicy) -> CacheConfig {
+    CacheConfig::new("t", 8 * u64::from(assoc) * 32, assoc, 32, 1).with_replacement(policy)
+}
+
+fn policy_strategy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A reference model over a set-associative cache: occupancy never
+    /// exceeds capacity, a just-filled block is always resident, and
+    /// evictions report blocks that were genuinely resident.
+    #[test]
+    fn cache_matches_reference_semantics(
+        addrs in proptest::collection::vec(0u64..0x4000, 1..400),
+        assoc in 1u32..=4,
+        policy in policy_strategy(),
+    ) {
+        let mut cache = Cache::new(small_config(assoc, policy));
+        let capacity = cache.config().num_blocks() as usize;
+        let mut resident: HashSet<u64> = HashSet::new();
+        let mut hier = Hierarchy::new(HierarchyConfig {
+            levels: vec![LevelConfig::Unified(small_config(assoc, policy))],
+            memory_latency: 10,
+            inclusive: false,
+        });
+        let mut events = Vec::new();
+        for &addr in &addrs {
+            let base = cache.block_base(addr);
+            // Drive the same stream through a 1-level hierarchy, whose
+            // fills exercise Cache::fill.
+            events.clear();
+            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut events);
+            for ev in &events {
+                match ev.kind {
+                    EventKind::Placed => {
+                        prop_assert_eq!(ev.block_base, base);
+                        resident.insert(ev.block_base);
+                    }
+                    EventKind::Replaced => {
+                        prop_assert!(
+                            resident.remove(&ev.block_base),
+                            "evicted a block that was not resident: {:#x}",
+                            ev.block_base
+                        );
+                    }
+                }
+            }
+            prop_assert!(resident.len() <= capacity);
+            prop_assert!(resident.contains(&base), "block must be resident after access");
+            let sid = hier.structures()[0].id;
+            prop_assert!(hier.contains(sid, addr));
+        }
+        // The reference set and the cache agree exactly.
+        let sid = hier.structures()[0].id;
+        for &b in &resident {
+            prop_assert!(hier.contains(sid, b));
+        }
+        prop_assert_eq!(hier.cache(sid).occupancy(), resident.len());
+    }
+
+    /// Latency accounting: every access's latency equals the sum of its
+    /// probe latencies plus memory when it reached memory.
+    #[test]
+    fn latency_is_sum_of_probe_latencies(
+        addrs in proptest::collection::vec(0u64..0x20000, 1..300),
+    ) {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        for &addr in &addrs {
+            let r = hier.access(Access::load(addr), &BypassSet::none());
+            let probe_sum: u64 = r.probes.iter().map(|p| p.latency).sum();
+            let mem = if r.supply_level == hier.memory_level() {
+                hier.config().memory_latency
+            } else {
+                0
+            };
+            prop_assert_eq!(r.latency, probe_sum + mem);
+        }
+        // Aggregate check: total latency equals the sum of per-access ones.
+        let s = hier.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+    }
+
+    /// Statistics are internally consistent after any access mix.
+    #[test]
+    fn stats_are_consistent(
+        accesses in proptest::collection::vec((0u64..0x10000, 0u8..3), 1..400),
+    ) {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        for &(addr, kind) in &accesses {
+            let access = match kind {
+                0 => Access::load(addr),
+                1 => Access::store(addr),
+                _ => Access::fetch(addr),
+            };
+            hier.access(access, &BypassSet::none());
+        }
+        let s = hier.stats();
+        prop_assert_eq!(s.accesses, s.instr_accesses + s.data_accesses);
+        prop_assert_eq!(s.accesses, s.supplies_by_level.iter().sum::<u64>());
+        for st in &s.structures {
+            prop_assert_eq!(st.probes, st.hits + st.misses);
+            prop_assert!(st.evictions <= st.fills);
+        }
+        // L1 structures are probed exactly once per access on their path.
+        let il1 = &s.structures[0];
+        let dl1 = &s.structures[1];
+        prop_assert_eq!(il1.probes, s.instr_accesses);
+        prop_assert_eq!(dl1.probes, s.data_accesses);
+    }
+
+    /// Event stream exactness: every Placed block is findable afterwards;
+    /// sub-block expansion covers the full line.
+    #[test]
+    fn events_expand_consistently(
+        addrs in proptest::collection::vec(0u64..0x40000, 1..200),
+    ) {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut events: Vec<CacheEvent> = Vec::new();
+        for &addr in &addrs {
+            events.clear();
+            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut events);
+            for ev in &events {
+                let grain = 32; // the MNM granularity of this config
+                let subs: Vec<u64> = ev.sub_blocks(grain).collect();
+                prop_assert_eq!(subs.len() as u64, (ev.block_bytes / grain).max(1));
+                // Sub-blocks are contiguous and cover the line.
+                for w in subs.windows(2) {
+                    prop_assert_eq!(w[1], w[0] + 1);
+                }
+                prop_assert_eq!(subs[0] << 5, ev.block_base);
+                if ev.kind == EventKind::Placed {
+                    prop_assert!(hier.contains(ev.structure, ev.block_base));
+                }
+            }
+        }
+    }
+
+    /// The instruction path never touches data-only structures and vice
+    /// versa.
+    #[test]
+    fn paths_are_disjoint_at_split_levels(
+        addrs in proptest::collection::vec(0u64..0x8000, 1..200),
+    ) {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        for &addr in &addrs {
+            hier.access(Access::fetch(addr), &BypassSet::none());
+        }
+        let s = hier.stats();
+        // dl1 (index 1) and dl2 (index 3) untouched by pure fetch streams.
+        prop_assert_eq!(s.structures[1].probes, 0);
+        prop_assert_eq!(s.structures[3].probes, 0);
+        prop_assert_eq!(s.structures[1].fills, 0);
+    }
+
+    /// dry_run_misses agrees with what a subsequent access actually does,
+    /// and never mutates state.
+    #[test]
+    fn dry_run_predicts_the_walk(
+        warm in proptest::collection::vec(0u64..0x8000, 0..150),
+        probe in 0u64..0x8000,
+    ) {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        for &addr in &warm {
+            hier.access(Access::load(addr), &BypassSet::none());
+        }
+        let predicted: Vec<_> = hier.dry_run_misses(Access::load(probe));
+        let again: Vec<_> = hier.dry_run_misses(Access::load(probe));
+        prop_assert_eq!(&predicted, &again, "dry run must be pure");
+        let r = hier.access(Access::load(probe), &BypassSet::none());
+        let actual: Vec<_> = r
+            .probes
+            .iter()
+            .filter(|p| p.level > 1 && p.outcome == cache_sim::ProbeOutcome::Miss)
+            .map(|p| p.structure)
+            .collect();
+        prop_assert_eq!(predicted, actual);
+    }
+}
+
+#[test]
+fn access_kind_paths_share_unified_levels() {
+    let hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let i_path = hier.path(AccessKind::InstrFetch);
+    let d_path = hier.path(AccessKind::Load);
+    assert_eq!(i_path.len(), 5);
+    assert_eq!(d_path.len(), 5);
+    assert_ne!(i_path[0], d_path[0]);
+    assert_ne!(i_path[1], d_path[1]);
+    assert_eq!(&i_path[2..], &d_path[2..]);
+}

@@ -1,0 +1,218 @@
+//! A counting Bloom filter, the literature's main alternative to the
+//! paper's techniques (Peir et al., ICS 2002 used Bloom filters for cache
+//! miss determination; Moshovos et al.'s JETTY — co-authored by this
+//! paper's first author — used a similar include-JETTY structure for snoop
+//! filtering).
+//!
+//! `k` independent hash functions index a single array of saturating
+//! counters; a block is *definitely absent* when **any** of its `k`
+//! counters is zero. Placements increment all `k` counters, replacements
+//! decrement them — with the same sticky-saturation conservatism as the
+//! TMNM (a counter that ever saturates can no longer be trusted to reach
+//! zero meaningfully, so it sticks).
+//!
+//! Structurally this generalizes the TMNM: TMNM's replicated tables are a
+//! partitioned Bloom filter whose "hashes" are plain bit-field extractions.
+//! The comparison experiment (`rw02`) quantifies what real hashing buys at
+//! equal storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::MissFilter;
+
+/// `BLOOM_<bits>x<hashes>`: `2^bits` counters shared by `hashes` hash
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomConfig {
+    /// log2 of the counter count.
+    pub bits: u32,
+    /// Number of hash functions (k).
+    pub hashes: u32,
+    /// Width of each saturating counter (3, like the paper's tables).
+    pub counter_bits: u32,
+}
+
+impl BloomConfig {
+    /// Create a configuration with 3-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=24 or `hashes` outside 1..=8.
+    pub fn new(bits: u32, hashes: u32) -> Self {
+        assert!((1..=24).contains(&bits), "counter-array width must be 1..=24 bits");
+        assert!((1..=8).contains(&hashes), "hash count must be 1..=8");
+        BloomConfig { bits, hashes, counter_bits: 3 }
+    }
+
+    /// The label used in experiment tables.
+    pub fn label(&self) -> String {
+        format!("BLOOM_{}x{}", self.bits, self.hashes)
+    }
+}
+
+/// A per-structure counting Bloom filter.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    config: BloomConfig,
+    counters: Vec<u8>,
+    max: u8,
+    mask: u64,
+}
+
+/// One round of a splitmix64-style mixer, parameterized by the hash index.
+fn mix(block: u64, which: u32) -> u64 {
+    let mut z = block
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(which) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BloomFilter {
+    /// Build an empty filter.
+    pub fn new(config: BloomConfig) -> Self {
+        BloomFilter {
+            counters: vec![0; 1 << config.bits],
+            max: ((1u32 << config.counter_bits) - 1) as u8,
+            mask: (1u64 << config.bits) - 1,
+            config,
+        }
+    }
+
+    /// This filter's configuration.
+    pub fn config(&self) -> &BloomConfig {
+        &self.config
+    }
+
+    fn slots(&self, block: u64) -> impl Iterator<Item = usize> + '_ {
+        (0..self.config.hashes).map(move |k| (mix(block, k) & self.mask) as usize)
+    }
+}
+
+impl MissFilter for BloomFilter {
+    fn on_place(&mut self, block: u64) {
+        let slots: Vec<usize> = self.slots(block).collect();
+        for s in slots {
+            if self.counters[s] < self.max {
+                self.counters[s] += 1;
+            }
+        }
+    }
+
+    fn on_replace(&mut self, block: u64) {
+        let slots: Vec<usize> = self.slots(block).collect();
+        for s in slots {
+            let c = self.counters[s];
+            if c > 0 && c < self.max {
+                self.counters[s] = c - 1;
+            }
+        }
+    }
+
+    fn is_definite_miss(&self, block: u64) -> bool {
+        self.slots(block).any(|s| self.counters[s] == 0)
+    }
+
+    fn flush(&mut self) {
+        self.counters.fill(0);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (1u64 << self.config.bits) * u64::from(self.config.counter_bits)
+    }
+
+    fn label(&self) -> String {
+        self.config.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_replace_round_trip() {
+        let mut f = BloomFilter::new(BloomConfig::new(10, 2));
+        assert!(f.is_definite_miss(0xAB));
+        f.on_place(0xAB);
+        assert!(!f.is_definite_miss(0xAB));
+        f.on_replace(0xAB);
+        assert!(f.is_definite_miss(0xAB));
+    }
+
+    #[test]
+    fn double_counting_hazard_is_handled() {
+        // If two hash functions of the SAME block collide on one slot, the
+        // slot is incremented twice; decrementing twice on replace keeps
+        // the pairing exact, so soundness is preserved either way.
+        let mut f = BloomFilter::new(BloomConfig::new(2, 4)); // tiny: collisions certain
+        for b in 0..16u64 {
+            f.on_place(b);
+        }
+        for b in 0..16u64 {
+            // All other blocks still live — no flag may appear for them.
+            f.on_replace(b);
+            for live in (b + 1)..16 {
+                assert!(!f.is_definite_miss(live), "unsound for {live:#x} after removing {b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn aliasing_blocks_keep_counters_positive() {
+        let mut f = BloomFilter::new(BloomConfig::new(12, 3));
+        f.on_place(1);
+        f.on_place(2);
+        f.on_replace(1);
+        assert!(!f.is_definite_miss(2));
+        f.on_replace(2);
+        assert!(f.is_definite_miss(2));
+    }
+
+    #[test]
+    fn saturation_is_sticky() {
+        let mut f = BloomFilter::new(BloomConfig::new(1, 1)); // 2 counters
+        for b in 0..32u64 {
+            f.on_place(b);
+        }
+        for b in 0..32u64 {
+            f.on_replace(b);
+        }
+        // Both counters saturated and stuck: nothing is ever flagged.
+        for b in 0..32u64 {
+            assert!(!f.is_definite_miss(b));
+        }
+    }
+
+    #[test]
+    fn hashing_spreads_better_than_bit_slicing_on_stride_patterns() {
+        use crate::tmnm::{TmnmConfig, TmnmFilter};
+        // Strided block addresses with zero low bits: TMNM's low-bit table
+        // collapses to few slots; the Bloom filter spreads them.
+        let mut bloom = BloomFilter::new(BloomConfig::new(10, 2));
+        let mut tmnm = TmnmFilter::new(TmnmConfig::new(10, 1));
+        for i in 0..256u64 {
+            let block = i << 10; // all low 10 bits zero
+            bloom.on_place(block);
+            tmnm.on_place(block);
+        }
+        // A fresh strided block: TMNM cannot flag it (slot 0 is saturated),
+        // the Bloom filter usually can.
+        let fresh = 1000u64 << 10;
+        assert!(!tmnm.is_definite_miss(fresh), "bit-slice table is blind here");
+        assert!(bloom.is_definite_miss(fresh), "hashing separates strided blocks");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let f = BloomFilter::new(BloomConfig::new(12, 4));
+        assert_eq!(f.storage_bits(), 4096 * 3);
+        assert_eq!(f.label(), "BLOOM_12x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "hash count")]
+    fn rejects_too_many_hashes() {
+        BloomConfig::new(10, 9);
+    }
+}

@@ -1,0 +1,40 @@
+//! The per-structure miss-filter abstraction.
+
+/// A sound, per-cache-structure miss filter.
+///
+/// One instance guards one cache structure (e.g. `dl2` or `ul4`). All
+/// addresses are **MNM block addresses** — byte addresses already shifted by
+/// the MNM granularity (the L2 line size, paper §3.1); events from caches
+/// with larger lines have already been expanded into multiple block
+/// addresses by the machine.
+///
+/// # Soundness contract
+///
+/// If [`MissFilter::is_definite_miss`] returns `true` for a block, that
+/// block **must not** be resident in the guarded structure. Implementations
+/// uphold this given a faithful event feed: every block installed into the
+/// structure is reported via [`MissFilter::on_place`] and every eviction via
+/// [`MissFilter::on_replace`], in order. The reverse is not required — a
+/// `false` ("maybe") answer for an absent block merely costs a redundant
+/// probe (paper §3.6).
+pub trait MissFilter: std::fmt::Debug + Send {
+    /// A block was installed into the guarded structure.
+    fn on_place(&mut self, block: u64);
+
+    /// A block was evicted from the guarded structure.
+    fn on_replace(&mut self, block: u64);
+
+    /// `true` iff an access to `block` is guaranteed to miss.
+    fn is_definite_miss(&self, block: u64) -> bool;
+
+    /// Reset all state (cache flush; paper §3.3: "The counter values are
+    /// reset when the caches are flushed").
+    fn flush(&mut self);
+
+    /// Hardware storage cost in bits (flip-flops / SRAM bits), used by the
+    /// power model.
+    fn storage_bits(&self) -> u64;
+
+    /// Short configuration label, e.g. `"TMNM_12x3"`.
+    fn label(&self) -> String;
+}

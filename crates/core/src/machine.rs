@@ -1,0 +1,459 @@
+//! The Mostly No Machine: technique filters wired to a cache hierarchy.
+
+use cache_sim::{
+    Access, AccessResult, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeOutcome, StructureId,
+};
+
+use crate::block::Granularity;
+use crate::bloom::BloomFilter;
+use crate::cmnm::Cmnm;
+use crate::config::{MnmConfig, MnmPlacement, TechniqueConfig};
+use crate::filter::MissFilter;
+use crate::rmnm::Rmnm;
+use crate::smnm::SmnmFilter;
+use crate::stats::MnmStats;
+use crate::tmnm::TmnmFilter;
+
+#[derive(Debug)]
+struct Slot {
+    structure: StructureId,
+    level: u8,
+    name: String,
+    filters: Vec<Box<dyn MissFilter>>,
+}
+
+/// Storage cost of one MNM component, for the power model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentStorage {
+    /// Configuration label (`"TMNM_12x3"`, `"RMNM_512_2"`, ...).
+    pub label: String,
+    /// Guarded structure name, or `"shared"` for the RMNM.
+    pub structure: String,
+    /// SRAM/flip-flop bits.
+    pub bits: u64,
+}
+
+/// The Mostly No Machine (paper §2).
+///
+/// Owns one filter stack per guarded cache structure (every structure at
+/// level 2 and beyond) plus the optional shared [`Rmnm`], performs the
+/// per-access definite-miss query, consumes the hierarchy's
+/// placement/replacement event stream, and tracks coverage.
+#[derive(Debug)]
+pub struct Mnm {
+    config: MnmConfig,
+    granularity: Granularity,
+    slots: Vec<Slot>,
+    /// Slot index per structure index; `None` for L1 structures.
+    slot_of_structure: Vec<Option<usize>>,
+    /// Slot indices along each path, in level order.
+    instr_slots: Vec<usize>,
+    data_slots: Vec<usize>,
+    rmnm: Option<Rmnm>,
+    stats: MnmStats,
+    events_buf: Vec<CacheEvent>,
+}
+
+impl Mnm {
+    /// Build a machine for `hierarchy` from `config`.
+    ///
+    /// Every structure at level ≥ 2 receives fresh instances of the
+    /// techniques assigned to its level; the paper never filters L1.
+    pub fn new(hierarchy: &Hierarchy, config: MnmConfig) -> Self {
+        let granularity = Granularity::from_bytes(hierarchy.mnm_granularity());
+        let mut slots = Vec::new();
+        let mut slot_of_structure = vec![None; hierarchy.structures().len()];
+
+        for info in hierarchy.structures() {
+            if info.level < 2 {
+                continue;
+            }
+            let filters: Vec<Box<dyn MissFilter>> = config
+                .techniques_for_level(info.level)
+                .into_iter()
+                .map(|t| -> Box<dyn MissFilter> {
+                    match t {
+                        TechniqueConfig::Smnm(c) => Box::new(SmnmFilter::new(c)),
+                        TechniqueConfig::Tmnm(c) => Box::new(TmnmFilter::new(c)),
+                        TechniqueConfig::Cmnm(c) => Box::new(Cmnm::new(c)),
+                        TechniqueConfig::Bloom(c) => Box::new(BloomFilter::new(c)),
+                    }
+                })
+                .collect();
+            slot_of_structure[info.id.index()] = Some(slots.len());
+            slots.push(Slot {
+                structure: info.id,
+                level: info.level,
+                name: info.name.clone(),
+                filters,
+            });
+        }
+
+        let slot_path = |kind| {
+            hierarchy
+                .path(kind)
+                .iter()
+                .filter_map(|sid| slot_of_structure[sid.index()])
+                .collect::<Vec<_>>()
+        };
+        let instr_slots = slot_path(cache_sim::AccessKind::InstrFetch);
+        let data_slots = slot_path(cache_sim::AccessKind::Load);
+
+        let rmnm = config.rmnm.map(|rc| Rmnm::new(rc, slots.len()));
+        let stats = MnmStats::new(slots.len());
+
+        Mnm {
+            config,
+            granularity,
+            slots,
+            slot_of_structure,
+            instr_slots,
+            data_slots,
+            rmnm,
+            stats,
+            events_buf: Vec::new(),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MnmConfig {
+        &self.config
+    }
+
+    /// The MNM block granularity (the L2 line size).
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Coverage/activity statistics.
+    pub fn stats(&self) -> &MnmStats {
+        &self.stats
+    }
+
+    /// Reset statistics, keeping filter state (post-warmup measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = MnmStats::new(self.slots.len());
+    }
+
+    /// Ask the machine which structures on this access's path will
+    /// definitely miss. Sound: every flagged structure is guaranteed not to
+    /// hold the block.
+    pub fn query(&mut self, access: Access) -> BypassSet {
+        let block = self.granularity.block_of(access.addr);
+        let slots = if access.kind.is_instruction() { &self.instr_slots } else { &self.data_slots };
+        let mut set = BypassSet::none();
+        self.stats.accesses += 1;
+        if self.rmnm.is_some() {
+            self.stats.rmnm_queries += 1;
+        }
+        let mut any = false;
+        for &si in slots {
+            let slot = &self.slots[si];
+            let st = &mut self.stats.slots[si];
+            st.queries += 1;
+            let mut miss = slot.filters.iter().any(|f| f.is_definite_miss(block));
+            if !miss {
+                if let Some(r) = &self.rmnm {
+                    miss = r.is_definite_miss(si, block);
+                }
+            }
+            if miss {
+                set.insert(slot.structure);
+                st.flagged += 1;
+                any = true;
+            }
+        }
+        if any {
+            self.stats.accesses_with_flags += 1;
+        }
+        set
+    }
+
+    /// Feed the hierarchy's placement/replacement events into the filters
+    /// (the MNM bookkeeping of paper §2). Blocks from caches with lines
+    /// larger than the MNM granularity expand into multiple updates
+    /// (paper §3.1).
+    pub fn observe_events(&mut self, events: &[CacheEvent]) {
+        for ev in events {
+            let Some(si) = self.slot_of_structure[ev.structure.index()] else {
+                continue; // L1 structures are not tracked
+            };
+            for block in ev.sub_blocks(self.granularity.bytes()) {
+                match ev.kind {
+                    EventKind::Placed => {
+                        for f in &mut self.slots[si].filters {
+                            f.on_place(block);
+                        }
+                        if let Some(r) = &mut self.rmnm {
+                            r.on_place(si, block);
+                            self.stats.rmnm_updates += 1;
+                        }
+                    }
+                    EventKind::Replaced => {
+                        for f in &mut self.slots[si].filters {
+                            f.on_replace(block);
+                        }
+                        if let Some(r) = &mut self.rmnm {
+                            r.on_replace(si, block);
+                            self.stats.rmnm_updates += 1;
+                        }
+                    }
+                }
+                self.stats.slots[si].updates += 1;
+            }
+        }
+    }
+
+    /// Fold an access outcome into the coverage statistics (paper §4.2):
+    /// every probe at level ≥ 2 that missed is a bypassable miss; every
+    /// bypassed probe is an identified one.
+    pub fn note_result(&mut self, result: &AccessResult) {
+        for p in &result.probes {
+            let Some(si) = self.slot_of_structure[p.structure.index()] else {
+                continue;
+            };
+            let st = &mut self.stats.slots[si];
+            match p.outcome {
+                ProbeOutcome::Miss => st.bypassable_misses += 1,
+                ProbeOutcome::Bypassed => {
+                    st.bypassable_misses += 1;
+                    st.identified_misses += 1;
+                }
+                ProbeOutcome::Hit => {}
+            }
+        }
+    }
+
+    /// Query, drive the access through the hierarchy with the resulting
+    /// bypass set, feed the event stream back, and record coverage — the
+    /// full per-access MNM protocol in one call.
+    pub fn run_access(&mut self, hierarchy: &mut Hierarchy, access: Access) -> AccessResult {
+        let bypass = self.query(access);
+        let mut events = std::mem::take(&mut self.events_buf);
+        events.clear();
+        let result = hierarchy.access_with_events(access, &bypass, &mut events);
+        self.observe_events(&events);
+        self.events_buf = events;
+        self.note_result(&result);
+        result
+    }
+
+    /// The access latency including MNM placement effects: a serial MNM
+    /// (paper Figure 1b) adds its delay once to every access that goes
+    /// beyond L1; a parallel MNM (Figure 1a) hides its delay under the L1
+    /// access; a distributed MNM pays the delay once per consulted level.
+    pub fn adjusted_latency(&self, result: &AccessResult) -> u64 {
+        match self.config.placement {
+            MnmPlacement::Parallel => result.latency,
+            MnmPlacement::Serial => {
+                if result.l1_hit() {
+                    result.latency
+                } else {
+                    result.latency + self.config.delay
+                }
+            }
+            MnmPlacement::Distributed => {
+                let consulted =
+                    result.probes.iter().filter(|p| p.level > 1).count() as u64;
+                result.latency + self.config.delay * consulted
+            }
+        }
+    }
+
+    /// Storage cost of every component, for the power model.
+    pub fn storage(&self) -> Vec<ComponentStorage> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            for f in &slot.filters {
+                out.push(ComponentStorage {
+                    label: f.label(),
+                    structure: slot.name.clone(),
+                    bits: f.storage_bits(),
+                });
+            }
+        }
+        if let Some(r) = &self.rmnm {
+            out.push(ComponentStorage {
+                label: r.label(),
+                structure: "shared".to_owned(),
+                bits: r.storage_bits(),
+            });
+        }
+        out
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.storage().iter().map(|c| c.bits).sum()
+    }
+
+    /// Names and levels of the guarded structures, in slot order.
+    pub fn guarded_structures(&self) -> Vec<(String, u8)> {
+        self.slots.iter().map(|s| (s.name.clone(), s.level)).collect()
+    }
+
+    /// Reset all filter state and statistics (cache flush).
+    pub fn flush(&mut self) {
+        for slot in &mut self.slots {
+            for f in &mut slot.filters {
+                f.flush();
+            }
+        }
+        if let Some(r) = &mut self.rmnm {
+            r.flush();
+        }
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{CacheConfig, HierarchyConfig, LevelConfig};
+
+    fn tiny_hierarchy() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 256, 2, 32, 8)),
+                LevelConfig::Unified(CacheConfig::new("ul3", 1024, 2, 64, 18)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        })
+    }
+
+    #[test]
+    fn guards_every_non_l1_structure() {
+        let hier = tiny_hierarchy();
+        let mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_10x1").unwrap());
+        let guarded = mnm.guarded_structures();
+        assert_eq!(guarded, vec![("ul2".to_owned(), 2), ("ul3".to_owned(), 3)]);
+    }
+
+    #[test]
+    fn tmnm_flags_cold_misses_and_stays_sound() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_12x1").unwrap());
+        // First touch: everything cold, filter flags both levels.
+        let r = mnm.run_access(&mut hier, Access::load(0x1000));
+        assert_eq!(r.bypassed, 2);
+        assert_eq!(r.supply_level, 4);
+        // Immediately after: resident everywhere, nothing flagged.
+        let r = mnm.run_access(&mut hier, Access::load(0x1000));
+        assert_eq!(r.bypassed, 0);
+        assert_eq!(r.supply_level, 1);
+    }
+
+    #[test]
+    fn coverage_is_one_for_pure_cold_misses_with_tmnm() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_12x1").unwrap());
+        // Distinct 64-byte-aligned addresses spread over the 12-bit table:
+        // all cold, all flagged.
+        for i in 0..32u64 {
+            mnm.run_access(&mut hier, Access::load(i * 64));
+        }
+        assert!(mnm.stats().coverage() > 0.9, "cold misses are TMNM's best case");
+        assert_eq!(mnm.stats().bypassable_misses(), mnm.stats().identified_misses());
+    }
+
+    #[test]
+    fn rmnm_covers_conflict_misses() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("RMNM_128_1").unwrap());
+        // Warm two conflicting blocks through ul2 (2-way, 4 sets of 32B:
+        // set = block & 3). Blocks 0x0, 0x100, 0x200 share ul2 set 0.
+        for addr in [0x0u64, 0x100, 0x200] {
+            mnm.run_access(&mut hier, Access::load(addr));
+        }
+        // 0x0 was evicted from ul2 by the fill of 0x200. RMNM knows.
+        let bypass = mnm.query(Access::load(0x0));
+        let ul2 = hier.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        assert!(bypass.contains(ul2), "RMNM must flag the replaced block");
+        // And it is sound: running the access with the bypass works.
+        let r = mnm.run_access(&mut hier, Access::load(0x0));
+        assert!(r.bypassed >= 1);
+    }
+
+    #[test]
+    fn adjusted_latency_depends_on_placement() {
+        let mut hier = tiny_hierarchy();
+        let mut parallel = Mnm::new(&hier, MnmConfig::parse("TMNM_10x1").unwrap());
+        let r = parallel.run_access(&mut hier, Access::load(0x4000));
+        assert_eq!(parallel.adjusted_latency(&r), r.latency);
+
+        let serial_cfg = MnmConfig::parse("TMNM_10x1").unwrap().with_placement(MnmPlacement::Serial);
+        let mut hier2 = tiny_hierarchy();
+        let mut serial = Mnm::new(&hier2, serial_cfg);
+        let r = serial.run_access(&mut hier2, Access::load(0x4000));
+        assert_eq!(serial.adjusted_latency(&r), r.latency + 2);
+        let r = serial.run_access(&mut hier2, Access::load(0x4000));
+        assert!(r.l1_hit());
+        assert_eq!(serial.adjusted_latency(&r), r.latency, "L1 hits skip the serial MNM");
+    }
+
+    #[test]
+    fn large_lines_expand_to_multiple_updates() {
+        let mut hier = tiny_hierarchy(); // ul3 has 64B lines, granularity 32B
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_12x1").unwrap());
+        mnm.run_access(&mut hier, Access::load(0x2000));
+        // After the fill, BOTH halves of ul3's 64-byte line are maybe-hits.
+        let bypass = mnm.query(Access::load(0x2020));
+        let ul3 = hier.structures().iter().find(|s| s.name == "ul3").unwrap().id;
+        assert!(!bypass.contains(ul3), "sibling half of the ul3 line must not be flagged");
+    }
+
+    #[test]
+    fn hmnm_storage_lists_all_components() {
+        let hier = tiny_hierarchy();
+        let mnm = Mnm::new(&hier, MnmConfig::hmnm(2));
+        let storage = mnm.storage();
+        // ul2 (level 2): SMNM+TMNM; ul3 (level 3): SMNM+TMNM; shared RMNM.
+        assert_eq!(storage.len(), 5);
+        assert!(storage.iter().any(|c| c.structure == "shared" && c.label.starts_with("RMNM")));
+        assert!(mnm.storage_bits() > 0);
+    }
+
+    #[test]
+    fn flush_resets_filters_and_stats() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_10x1").unwrap());
+        mnm.run_access(&mut hier, Access::load(0x0));
+        assert!(mnm.stats().accesses > 0);
+        mnm.flush();
+        assert_eq!(mnm.stats().accesses, 0);
+        // Filters are cold again: a resident block would now be flagged,
+        // so flush the hierarchy too to stay sound.
+        hier.flush();
+        let bypass = mnm.query(Access::load(0x0));
+        assert_eq!(bypass.len(), 2);
+    }
+
+    #[test]
+    fn soundness_fuzz_under_heavy_aliasing() {
+        // Tight address space forces constant conflict evictions at every
+        // level; the debug_assert inside the hierarchy verifies every
+        // bypass decision against actual cache contents.
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(1));
+        let mut x: u64 = 0x12345;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x % 0x4000) & !0x3;
+            let access = match i % 3 {
+                0 => Access::load(addr),
+                1 => Access::store(addr),
+                _ => Access::fetch(addr),
+            };
+            mnm.run_access(&mut hier, access);
+        }
+        // Sanity: the machine actually did something.
+        assert!(mnm.stats().bypassable_misses() > 0);
+    }
+}

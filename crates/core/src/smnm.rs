@@ -1,0 +1,266 @@
+//! SMNM — the Sum MNM (paper §3.2).
+//!
+//! Each *checker* examines a `sum_width`-bit slice of the block address and
+//! hashes it with the paper's sum-of-squares function (Figure 5):
+//!
+//! ```text
+//! sum = 0;
+//! for (i = 1; i <= SUM_WIDTH; i++) { if (tag & 1) sum += i*i; tag >>= 1; }
+//! ```
+//!
+//! A flip-flop per possible sum value records which hashes have ever been
+//! placed into the guarded cache (Figure 6). An access whose hash was never
+//! admitted is a definite miss. The structure is *set-only*: replacements
+//! cannot clear flip-flops (several live blocks may share a hash), so only
+//! never-seen hash values — mostly cold regions — are filtered, matching
+//! the paper's observation that SMNM coverage is low except for
+//! small-footprint caches.
+//!
+//! Replicated checkers examine address slices starting at bits 0, 6 and 12
+//! (paper: "the first one examines the least significant bits, the second
+//! examines the bits starting from the 7th ... the third one starting from
+//! the 13th"); an access is a definite miss if *any* checker rejects it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::MissFilter;
+
+/// Bit offsets at which replicated checkers/tables slice the block address.
+pub(crate) const SLICE_OFFSETS: [u32; 3] = [0, 6, 12];
+
+/// `SMNM_<sum_width>x<replication>` (e.g. `SMNM_13x2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmnmConfig {
+    /// Bits examined by each checker.
+    pub sum_width: u32,
+    /// Number of parallel checkers (1–3).
+    pub replication: u32,
+}
+
+impl SmnmConfig {
+    /// Create a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sum_width` is zero or `replication` is not in 1..=3.
+    pub fn new(sum_width: u32, replication: u32) -> Self {
+        assert!(sum_width >= 1, "sum_width must be at least 1");
+        assert!(sum_width <= 32, "sum_width above 32 is meaningless for 32-bit block addresses");
+        assert!(
+            (1..=SLICE_OFFSETS.len() as u32).contains(&replication),
+            "replication must be between 1 and 3"
+        );
+        SmnmConfig { sum_width, replication }
+    }
+
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> String {
+        format!("SMNM_{}x{}", self.sum_width, self.replication)
+    }
+}
+
+/// The paper's sum-of-squares hash over the low `width` bits of `slice`.
+pub fn sum_hash(slice: u64, width: u32) -> u32 {
+    let mut tag = slice;
+    let mut sum = 0u32;
+    for i in 1..=width {
+        if tag & 1 != 0 {
+            sum += i * i;
+        }
+        tag >>= 1;
+    }
+    sum
+}
+
+/// Maximum hash value for `width` bits: `w(w+1)(2w+1)/6` (paper Equation 3,
+/// the flip-flop count of one checker, minus the slot for sum = 0).
+pub fn max_sum(width: u32) -> u32 {
+    width * (width + 1) * (2 * width + 1) / 6
+}
+
+/// One checker circuit (paper Figure 6): a flip-flop per possible sum.
+#[derive(Debug, Clone)]
+pub struct SmnmChecker {
+    offset: u32,
+    width: u32,
+    present: Vec<bool>,
+}
+
+impl SmnmChecker {
+    /// Build a checker over address bits `[offset, offset + width)`.
+    pub fn new(offset: u32, width: u32) -> Self {
+        SmnmChecker { offset, width, present: vec![false; max_sum(width) as usize + 1] }
+    }
+
+    fn hash(&self, block: u64) -> usize {
+        sum_hash(block >> self.offset, self.width) as usize
+    }
+
+    /// Record the hash of a placed block.
+    pub fn admit(&mut self, block: u64) {
+        let h = self.hash(block);
+        self.present[h] = true;
+    }
+
+    /// `true` iff the block's hash was never admitted.
+    pub fn rejects(&self, block: u64) -> bool {
+        !self.present[self.hash(block)]
+    }
+
+    /// Reset all flip-flops.
+    pub fn reset(&mut self) {
+        self.present.fill(false);
+    }
+
+    /// Flip-flop count (paper Equation 3 plus the sum = 0 slot).
+    pub fn flip_flops(&self) -> u64 {
+        self.present.len() as u64
+    }
+}
+
+/// A per-structure SMNM filter: `replication` parallel checkers.
+#[derive(Debug, Clone)]
+pub struct SmnmFilter {
+    config: SmnmConfig,
+    checkers: Vec<SmnmChecker>,
+}
+
+impl SmnmFilter {
+    /// Build an empty filter.
+    pub fn new(config: SmnmConfig) -> Self {
+        let checkers = SLICE_OFFSETS
+            .iter()
+            .take(config.replication as usize)
+            .map(|&off| SmnmChecker::new(off, config.sum_width))
+            .collect();
+        SmnmFilter { config, checkers }
+    }
+
+    /// This filter's configuration.
+    pub fn config(&self) -> &SmnmConfig {
+        &self.config
+    }
+}
+
+impl MissFilter for SmnmFilter {
+    fn on_place(&mut self, block: u64) {
+        for c in &mut self.checkers {
+            c.admit(block);
+        }
+    }
+
+    fn on_replace(&mut self, _block: u64) {
+        // Set-only: several live blocks may share a hash value, so a
+        // replacement cannot clear any flip-flop (soundness).
+    }
+
+    fn is_definite_miss(&self, block: u64) -> bool {
+        self.checkers.iter().any(|c| c.rejects(block))
+    }
+
+    fn flush(&mut self) {
+        for c in &mut self.checkers {
+            c.reset();
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.checkers.iter().map(SmnmChecker::flip_flops).sum()
+    }
+
+    fn label(&self) -> String {
+        self.config.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_matches_paper_function() {
+        // Bits 0 and 2 set => 1*1 + 3*3 = 10.
+        assert_eq!(sum_hash(0b101, 8), 10);
+        assert_eq!(sum_hash(0, 8), 0);
+        // All bits of width 3: 1 + 4 + 9 = 14 = max_sum(3).
+        assert_eq!(sum_hash(0b111, 3), 14);
+        assert_eq!(max_sum(3), 14);
+        // Bits above the width are ignored.
+        assert_eq!(sum_hash(0b1000, 3), 0);
+    }
+
+    #[test]
+    fn equation3_flip_flop_count() {
+        // Equation 3: w(w+1)(2w+1)/6 = 650 for w = 12; +1 for sum = 0.
+        assert_eq!(max_sum(12), 650);
+        assert_eq!(SmnmChecker::new(0, 12).flip_flops(), 651);
+    }
+
+    #[test]
+    fn never_seen_hash_is_definite_miss() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(10, 1));
+        assert!(f.is_definite_miss(0b1)); // nothing admitted yet
+        f.on_place(0b1);
+        assert!(!f.is_definite_miss(0b1));
+        // 0b100 hashes to 9, distinct from 1 => still a definite miss.
+        assert!(f.is_definite_miss(0b100));
+    }
+
+    #[test]
+    fn replace_never_clears() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(10, 2));
+        f.on_place(42);
+        f.on_replace(42);
+        assert!(!f.is_definite_miss(42), "set-only semantics");
+    }
+
+    #[test]
+    fn aliasing_blocks_share_fate() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(4, 1));
+        // 0b0011 -> 1+4 = 5; 0b...? find another 4-bit value hashing to 5:
+        // none (sums are distinct subsets of {1,4,9,16}), but values equal
+        // modulo the 4-bit slice alias: 0b10011 has the same low-4 slice.
+        f.on_place(0b0011);
+        assert!(!f.is_definite_miss(0b1_0011), "slice alias must not be rejected");
+    }
+
+    #[test]
+    fn replicated_checkers_catch_high_bit_differences() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(10, 3));
+        f.on_place(0x0000_0001);
+        // Same low slice, different bits at offset 12 => third checker
+        // rejects.
+        assert!(f.is_definite_miss(0x0000_1001 | 1 << 13));
+        // Single-checker filter cannot.
+        let mut f1 = SmnmFilter::new(SmnmConfig::new(10, 1));
+        f1.on_place(0x0000_0001);
+        assert!(!f1.is_definite_miss(0x0000_0001 | 1 << 13));
+    }
+
+    #[test]
+    fn flush_resets_to_all_miss() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(8, 1));
+        f.on_place(3);
+        f.flush();
+        assert!(f.is_definite_miss(3));
+    }
+
+    #[test]
+    fn storage_scales_cubically() {
+        let w10 = SmnmFilter::new(SmnmConfig::new(10, 1)).storage_bits();
+        let w20 = SmnmFilter::new(SmnmConfig::new(20, 1)).storage_bits();
+        // (20·21·41 - 10·11·21)/6: roughly 8x.
+        assert!(w20 > w10 * 7 && w20 < w10 * 9);
+    }
+
+    #[test]
+    fn label_matches_paper() {
+        assert_eq!(SmnmConfig::new(13, 2).label(), "SMNM_13x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn rejects_excess_replication() {
+        SmnmConfig::new(10, 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! TMNM — the Table MNM (paper §3.3).
+//!
+//! Each table holds `2^bits` saturating counters indexed by a slice of the
+//! block address. Placing a block increments the counter at its slot,
+//! replacing a block decrements it — unless the counter ever saturated, in
+//! which case it sticks at the maximum ("the counter becomes an indicator
+//! that any access mapped to this position may be a hit"). A counter value
+//! of zero means no live block maps to that slot: a definite miss.
+//!
+//! The paper uses 3-bit counters; the width is configurable here for the
+//! counter-width ablation study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::MissFilter;
+use crate::smnm::SLICE_OFFSETS;
+
+/// `TMNM_<bits>x<replication>` (e.g. `TMNM_12x3`). `counter_bits` defaults
+/// to the paper's 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TmnmConfig {
+    /// Index width: each table has `2^bits` counters.
+    pub bits: u32,
+    /// Number of parallel tables over different address slices (1–3).
+    pub replication: u32,
+    /// Width of each saturating counter in bits (paper: 3).
+    pub counter_bits: u32,
+}
+
+impl TmnmConfig {
+    /// Create a configuration with the paper's 3-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 24, or `replication` is not in 1..=3.
+    pub fn new(bits: u32, replication: u32) -> Self {
+        Self::with_counter_bits(bits, replication, 3)
+    }
+
+    /// Create a configuration with an explicit counter width (ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters (`counter_bits` must be 1..=8).
+    pub fn with_counter_bits(bits: u32, replication: u32, counter_bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "table index width must be 1..=24");
+        assert!(
+            (1..=SLICE_OFFSETS.len() as u32).contains(&replication),
+            "replication must be between 1 and 3"
+        );
+        assert!((1..=8).contains(&counter_bits), "counter width must be 1..=8 bits");
+        TmnmConfig { bits, replication, counter_bits }
+    }
+
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> String {
+        if self.counter_bits == 3 {
+            format!("TMNM_{}x{}", self.bits, self.replication)
+        } else {
+            format!("TMNM_{}x{}c{}", self.bits, self.replication, self.counter_bits)
+        }
+    }
+}
+
+/// One counter table over a slice of the block address.
+#[derive(Debug, Clone)]
+pub struct TmnmTable {
+    offset: u32,
+    mask: u64,
+    max: u8,
+    counters: Vec<u8>,
+}
+
+impl TmnmTable {
+    /// Build a table over address bits `[offset, offset + bits)` with
+    /// `counter_bits`-wide saturating counters.
+    pub fn new(offset: u32, bits: u32, counter_bits: u32) -> Self {
+        TmnmTable {
+            offset,
+            mask: (1u64 << bits) - 1,
+            max: ((1u32 << counter_bits) - 1) as u8,
+            counters: vec![0; 1 << bits],
+        }
+    }
+
+    fn slot(&self, block: u64) -> usize {
+        ((block >> self.offset) & self.mask) as usize
+    }
+
+    /// Increment on placement; saturates at the maximum.
+    pub fn increment(&mut self, block: u64) {
+        let s = self.slot(block);
+        if self.counters[s] < self.max {
+            self.counters[s] += 1;
+        }
+    }
+
+    /// Decrement on replacement — unless saturated, which is sticky.
+    pub fn decrement(&mut self, block: u64) {
+        let s = self.slot(block);
+        let c = self.counters[s];
+        if c > 0 && c < self.max {
+            self.counters[s] = c - 1;
+        }
+    }
+
+    /// Definite miss iff no live block can map here (counter is zero).
+    pub fn is_empty_slot(&self, block: u64) -> bool {
+        self.counters[self.slot(block)] == 0
+    }
+
+    /// Raw counter value at the block's slot (for tests/diagnostics).
+    pub fn counter(&self, block: u64) -> u8 {
+        self.counters[self.slot(block)]
+    }
+
+    /// Reset all counters (cache flush).
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+/// A per-structure TMNM filter: `replication` parallel tables.
+#[derive(Debug, Clone)]
+pub struct TmnmFilter {
+    config: TmnmConfig,
+    tables: Vec<TmnmTable>,
+}
+
+impl TmnmFilter {
+    /// Build an empty filter.
+    pub fn new(config: TmnmConfig) -> Self {
+        let tables = SLICE_OFFSETS
+            .iter()
+            .take(config.replication as usize)
+            .map(|&off| TmnmTable::new(off, config.bits, config.counter_bits))
+            .collect();
+        TmnmFilter { config, tables }
+    }
+
+    /// This filter's configuration.
+    pub fn config(&self) -> &TmnmConfig {
+        &self.config
+    }
+}
+
+impl MissFilter for TmnmFilter {
+    fn on_place(&mut self, block: u64) {
+        for t in &mut self.tables {
+            t.increment(block);
+        }
+    }
+
+    fn on_replace(&mut self, block: u64) {
+        for t in &mut self.tables {
+            t.decrement(block);
+        }
+    }
+
+    fn is_definite_miss(&self, block: u64) -> bool {
+        self.tables.iter().any(|t| t.is_empty_slot(block))
+    }
+
+    fn flush(&mut self) {
+        for t in &mut self.tables {
+            t.reset();
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (self.tables.len() as u64) * (1u64 << self.config.bits) * u64::from(self.config.counter_bits)
+    }
+
+    fn label(&self) -> String {
+        self.config.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_replace_round_trip() {
+        let mut f = TmnmFilter::new(TmnmConfig::new(6, 1));
+        assert!(f.is_definite_miss(0x12));
+        f.on_place(0x12);
+        assert!(!f.is_definite_miss(0x12));
+        f.on_replace(0x12);
+        assert!(f.is_definite_miss(0x12));
+    }
+
+    #[test]
+    fn aliasing_blocks_keep_counter_positive() {
+        let mut f = TmnmFilter::new(TmnmConfig::new(4, 1));
+        // 0x5 and 0x15 share the low-4 slot.
+        f.on_place(0x5);
+        f.on_place(0x15);
+        f.on_replace(0x5);
+        assert!(!f.is_definite_miss(0x15), "one alias still live");
+        f.on_replace(0x15);
+        assert!(f.is_definite_miss(0x15));
+    }
+
+    #[test]
+    fn saturation_is_sticky() {
+        let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(4, 1, 2)); // max = 3
+        for i in 0..5u64 {
+            f.on_place(0x3 | (i << 4)); // 5 aliases of slot 3
+        }
+        // Removing all of them cannot drain the stuck counter.
+        for i in 0..5u64 {
+            f.on_replace(0x3 | (i << 4));
+        }
+        assert!(!f.is_definite_miss(0x3), "saturated slot stays 'maybe' forever");
+    }
+
+    #[test]
+    fn exactly_max_blocks_saturates_conservatively() {
+        // The paper: a saturated value occurs when 2^c different blocks map
+        // to the same location; even max-count followed by full drain must
+        // stay conservative.
+        let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(4, 1, 2)); // max = 3
+        for i in 0..3u64 {
+            f.on_place(0x1 | (i << 4));
+        }
+        for i in 0..3u64 {
+            f.on_replace(0x1 | (i << 4));
+        }
+        // Counter hit its max (3) with exactly 3 blocks: it cannot tell 3
+        // from >3, so it must stick.
+        assert!(!f.is_definite_miss(0x1));
+    }
+
+    #[test]
+    fn replicated_tables_raise_precision() {
+        let mut one = TmnmFilter::new(TmnmConfig::new(10, 1));
+        let mut three = TmnmFilter::new(TmnmConfig::new(10, 3));
+        let a = 0x0000_0400u64; // bit 10 set: invisible to the low-10 table
+        one.on_place(0);
+        three.on_place(0);
+        assert!(!one.is_definite_miss(a), "low slice aliases with block 0");
+        assert!(three.is_definite_miss(a), "offset-6 table sees the difference");
+    }
+
+    #[test]
+    fn paper_counter_width_is_three_bits() {
+        let f = TmnmFilter::new(TmnmConfig::new(12, 3));
+        assert_eq!(f.config().counter_bits, 3);
+        assert_eq!(f.storage_bits(), 3 * 4096 * 3);
+    }
+
+    #[test]
+    fn flush_resets_counters() {
+        let mut f = TmnmFilter::new(TmnmConfig::new(6, 2));
+        f.on_place(9);
+        f.flush();
+        assert!(f.is_definite_miss(9));
+        assert_eq!(f.tables[0].counter(9), 0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(TmnmConfig::new(12, 3).label(), "TMNM_12x3");
+        assert_eq!(TmnmConfig::with_counter_bits(10, 1, 2).label(), "TMNM_10x1c2");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of each filter against an exact reference model
+//! of cache contents: the one-sided soundness contract, flush semantics,
+//! and technique-specific guarantees.
+
+use std::collections::HashMap;
+
+use mnm_core::{
+    Cmnm, CmnmConfig, MissFilter, Rmnm, RmnmConfig, SmnmConfig, SmnmFilter, TmnmConfig, TmnmFilter,
+};
+use proptest::prelude::*;
+
+/// An abstract cache trace: alternating place/replace operations that a
+/// real cache could emit (a block is placed at most once before being
+/// replaced, and only resident blocks are replaced).
+#[derive(Debug, Clone)]
+struct CacheTrace {
+    ops: Vec<(bool, u64)>, // (is_place, block)
+}
+
+fn cache_trace(max_ops: usize, addr_space: u64) -> impl Strategy<Value = CacheTrace> {
+    proptest::collection::vec((any::<bool>(), 0..addr_space), 1..max_ops).prop_map(move |raw| {
+        // Repair the raw stream into a legal place/replace alternation.
+        let mut live: HashMap<u64, u32> = HashMap::new();
+        let mut ops = Vec::with_capacity(raw.len());
+        for (want_place, block) in raw {
+            let count = live.entry(block).or_insert(0);
+            if want_place && *count == 0 {
+                *count = 1;
+                ops.push((true, block));
+            } else if !want_place && *count == 1 {
+                *count = 0;
+                ops.push((false, block));
+            } else if *count == 0 {
+                *count = 1;
+                ops.push((true, block));
+            } else {
+                *count = 0;
+                ops.push((false, block));
+            }
+        }
+        CacheTrace { ops }
+    })
+}
+
+fn check_filter_soundness(filter: &mut dyn MissFilter, trace: &CacheTrace) -> Result<(), String> {
+    let mut live: HashMap<u64, bool> = HashMap::new();
+    for &(is_place, block) in &trace.ops {
+        if is_place {
+            filter.on_place(block);
+            live.insert(block, true);
+        } else {
+            filter.on_replace(block);
+            live.insert(block, false);
+        }
+        // Soundness: every *live* block must be a maybe.
+        for (&b, &alive) in &live {
+            if alive && filter.is_definite_miss(b) {
+                return Err(format!("{} flagged live block {b:#x}", filter.label()));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn smnm_never_flags_live_blocks(trace in cache_trace(200, 0x2000), w in 4u32..16, r in 1u32..=3) {
+        let mut f = SmnmFilter::new(SmnmConfig::new(w, r));
+        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn tmnm_never_flags_live_blocks(
+        trace in cache_trace(200, 0x2000),
+        bits in 2u32..14,
+        r in 1u32..=3,
+        cw in 1u32..=4,
+    ) {
+        let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(bits, r, cw));
+        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn cmnm_never_flags_live_blocks(
+        trace in cache_trace(200, 0x80000),
+        k in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        m in 2u32..14,
+    ) {
+        let mut f = Cmnm::new(CmnmConfig::new(k, m));
+        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn rmnm_never_flags_live_blocks(
+        trace in cache_trace(200, 0x2000),
+        blocks in prop_oneof![Just(16u32), Just(64), Just(256)],
+        assoc in prop_oneof![Just(1u32), Just(2), Just(4)],
+    ) {
+        // The RMNM is shared; exercise one slot through the same trace.
+        let mut r = Rmnm::new(RmnmConfig::new(blocks, assoc), 3);
+        let mut live: HashMap<u64, bool> = HashMap::new();
+        for &(is_place, block) in &trace.ops {
+            if is_place {
+                r.on_place(1, block);
+                live.insert(block, true);
+            } else {
+                r.on_replace(1, block);
+                live.insert(block, false);
+            }
+            for (&b, &alive) in &live {
+                prop_assert!(
+                    !(alive && r.is_definite_miss(1, b)),
+                    "RMNM flagged live block {b:#x}"
+                );
+                // Other slots never saw events: they must stay silent.
+                prop_assert!(!r.is_definite_miss(0, b));
+                prop_assert!(!r.is_definite_miss(2, b));
+            }
+        }
+    }
+
+    /// TMNM exactness: with wide-enough counters and a table large enough
+    /// to avoid aliasing, TMNM is a *perfect* filter (counter == live).
+    #[test]
+    fn tmnm_is_exact_without_aliasing(trace in cache_trace(120, 64)) {
+        let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(6, 1, 8));
+        let mut live: HashMap<u64, bool> = HashMap::new();
+        for &(is_place, block) in &trace.ops {
+            if is_place {
+                f.on_place(block);
+                live.insert(block, true);
+            } else {
+                f.on_replace(block);
+                live.insert(block, false);
+            }
+        }
+        // 64 possible blocks, 64 slots, counters up to 255: no aliasing,
+        // no saturation => definite-miss iff dead.
+        for (&b, &alive) in &live {
+            prop_assert_eq!(f.is_definite_miss(b), !alive, "block {:#x}", b);
+        }
+    }
+
+    /// Flush must restore the all-cold verdict for every technique.
+    #[test]
+    fn flush_makes_everything_a_definite_miss_again(trace in cache_trace(100, 0x1000)) {
+        let mut filters: Vec<Box<dyn MissFilter>> = vec![
+            Box::new(SmnmFilter::new(SmnmConfig::new(10, 2))),
+            Box::new(TmnmFilter::new(TmnmConfig::new(10, 1))),
+            Box::new(Cmnm::new(CmnmConfig::new(4, 10))),
+        ];
+        for f in &mut filters {
+            for &(is_place, block) in &trace.ops {
+                if is_place {
+                    f.on_place(block);
+                } else {
+                    f.on_replace(block);
+                }
+            }
+            f.flush();
+            for &(_, block) in &trace.ops {
+                prop_assert!(f.is_definite_miss(block), "{} kept state across flush", f.label());
+            }
+        }
+    }
+
+    /// Storage accounting is stable: label and bit count do not depend on
+    /// the history of operations.
+    #[test]
+    fn storage_is_history_independent(trace in cache_trace(100, 0x1000)) {
+        let mut f = TmnmFilter::new(TmnmConfig::new(12, 3));
+        let before = (f.label(), f.storage_bits());
+        for &(is_place, block) in &trace.ops {
+            if is_place { f.on_place(block) } else { f.on_replace(block) }
+        }
+        prop_assert_eq!(before, (f.label(), f.storage_bits()));
+    }
+}

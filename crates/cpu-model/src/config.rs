@@ -1,0 +1,134 @@
+//! Processor-core configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the scheduler wakes up dependents of loads (paper §4.5: "The
+/// scheduler can use the miss information to prevent scheduling of the
+/// memory instructions that will miss ... and other instructions dependent
+/// on these memory instructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadSpeculation {
+    /// Dependents wait for actual data return; no replay cost. This is
+    /// the model used for the paper's main results (Figure 15).
+    None,
+    /// The scheduler speculatively wakes dependents assuming an L1 hit;
+    /// when the load actually misses, the dependents are replayed, adding
+    /// `penalty` cycles to their effective readiness — *unless* the MNM
+    /// flagged the access in time, in which case the scheduler holds them
+    /// (the paper's §4.5 extension).
+    Replay {
+        /// Extra cycles dependents of an unpredicted missing load pay.
+        penalty: u64,
+    },
+}
+
+/// Resource limits of the modelled out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued per cycle (number of issue ports).
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Reorder window (SimpleScalar's RUU) size in instructions.
+    pub window_size: u32,
+    /// Maximum memory operations in flight (load/store queue).
+    pub lsq_size: u32,
+    /// Data-cache ports: memory operations that can begin per cycle
+    /// (the paper's parallel MNM needs this many ports too, §2).
+    pub dcache_ports: u32,
+    /// Cycles from a mispredicted branch's resolution to the first
+    /// corrected fetch.
+    pub mispredict_penalty: u64,
+    /// Scheduler wakeup model for load dependents.
+    pub load_speculation: LoadSpeculation,
+}
+
+impl CpuConfig {
+    /// The paper's 8-way processor (Section 4.1: an 8-way core with
+    /// resources twice those of the 4-way configuration).
+    pub fn paper_eight_way() -> Self {
+        CpuConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            window_size: 128,
+            lsq_size: 64,
+            dcache_ports: 4,
+            mispredict_penalty: 8,
+            load_speculation: LoadSpeculation::None,
+        }
+    }
+
+    /// The paper's 4-way processor used for the 2- and 3-level motivation
+    /// runs (Figures 2–3).
+    pub fn paper_four_way() -> Self {
+        CpuConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            window_size: 64,
+            lsq_size: 32,
+            dcache_ports: 2,
+            mispredict_penalty: 8,
+            load_speculation: LoadSpeculation::None,
+        }
+    }
+
+    /// Enable the §4.5 scheduler-replay model (builder style).
+    pub fn with_load_speculation(mut self, model: LoadSpeculation) -> Self {
+        self.load_speculation = model;
+        self
+    }
+
+    /// Check resource limits for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first zero-sized resource, or a window
+    /// smaller than the LSQ.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.window_size == 0 || self.lsq_size == 0 {
+            return Err("window and LSQ must be positive".into());
+        }
+        if self.dcache_ports == 0 {
+            return Err("at least one data-cache port is required".into());
+        }
+        if self.lsq_size > self.window_size {
+            return Err("LSQ cannot exceed the reorder window".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::paper_eight_way()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        CpuConfig::paper_eight_way().validate().unwrap();
+        CpuConfig::paper_four_way().validate().unwrap();
+        assert_eq!(CpuConfig::default(), CpuConfig::paper_eight_way());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut c = CpuConfig::paper_eight_way();
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::paper_eight_way();
+        c.lsq_size = c.window_size + 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Timing-simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Results of one timing simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Total execution cycles (commit time of the last instruction).
+    pub cycles: u64,
+    /// Dynamic instructions simulated.
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Mispredicted branches (redirects charged).
+    pub mispredicts: u64,
+    /// I-side fetch-block transitions (I-cache accesses performed).
+    pub fetch_accesses: u64,
+    /// Sum of data-access latencies observed by loads (cycles).
+    pub load_latency_sum: u64,
+    /// Sum of I-fetch latencies observed at block transitions (cycles).
+    pub fetch_latency_sum: u64,
+    /// Scheduler replays charged: loads that missed without early MNM
+    /// knowledge, under the replay load-speculation model.
+    pub replays: u64,
+}
+
+impl CpuStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean load data-access time in cycles (the paper's "data access
+    /// time" metric restricted to loads).
+    pub fn mean_load_latency(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CpuStats {
+            cycles: 500,
+            instructions: 1000,
+            loads: 10,
+            load_latency_sum: 40,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mean_load_latency() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = CpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mean_load_latency(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the timing model: monotonicity in resources
+//! and latencies, bounds on cycle counts, and policy orderings.
+
+use cache_sim::{Hierarchy, HierarchyConfig};
+use ooo_model::{simulate, CpuConfig, LoadSpeculation, MemPolicy};
+use proptest::prelude::*;
+use trace_synth::{profiles, Instr, InstrKind, Program};
+
+fn hier() -> Hierarchy {
+    Hierarchy::new(HierarchyConfig::paper_five_level())
+}
+
+/// Random but structurally valid instruction traces.
+fn traces() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec((0u8..4, 0u32..0x20000, 0u8..4, any::<bool>()), 50..600).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (kind, addr, dep, flag))| {
+                    let pc = 0x40_0000 + 4 * ((i as u64 * 7) % 512);
+                    let kind = match kind {
+                        0 => InstrKind::Op { latency: 1 + (addr % 4) as u8 },
+                        1 => InstrKind::Load { addr: 0x1000_0000 + u64::from(addr) & !7 },
+                        2 => InstrKind::Store { addr: 0x1000_0000 + u64::from(addr) & !7 },
+                        _ => InstrKind::Branch { mispredicted: flag && i % 7 == 0 },
+                    };
+                    Instr { pc, kind, src1: dep, src2: 0 }
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cycle counts are bounded below by the bandwidth limit and above by
+    /// fully-serial execution.
+    #[test]
+    fn cycles_within_structural_bounds(trace in traces()) {
+        let cfg = CpuConfig::paper_eight_way();
+        let n = trace.len() as u64;
+        let mut h = hier();
+        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, trace.into_iter(), u64::MAX);
+        prop_assert_eq!(s.instructions, n);
+        prop_assert!(s.cycles >= n / u64::from(cfg.commit_width));
+        // Generous serial upper bound: every instruction pays a full
+        // memory round trip plus overheads.
+        prop_assert!(s.cycles <= (n + 10) * 600, "cycles {} for {} instrs", s.cycles, n);
+    }
+
+    /// More resources never hurt: doubling widths/window/LSQ cannot
+    /// increase the cycle count on the same trace.
+    #[test]
+    fn resources_are_monotone(trace in traces()) {
+        let small = CpuConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            window_size: 16,
+            lsq_size: 8,
+            dcache_ports: 1,
+            mispredict_penalty: 8,
+            load_speculation: LoadSpeculation::None,
+        };
+        let big = CpuConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            window_size: 32,
+            lsq_size: 16,
+            dcache_ports: 2,
+            mispredict_penalty: 8,
+            load_speculation: LoadSpeculation::None,
+        };
+        let mut h1 = hier();
+        let a = simulate(&small, &mut h1, MemPolicy::Baseline, trace.clone().into_iter(), u64::MAX);
+        let mut h2 = hier();
+        let b = simulate(&big, &mut h2, MemPolicy::Baseline, trace.into_iter(), u64::MAX);
+        prop_assert!(b.cycles <= a.cycles, "big {} vs small {}", b.cycles, a.cycles);
+    }
+
+    /// Memory policies are ordered: perfect <= baseline on the same trace
+    /// (the bypassed walk is never longer).
+    #[test]
+    fn perfect_policy_dominates_baseline(trace in traces()) {
+        let cfg = CpuConfig::paper_eight_way();
+        let mut h1 = hier();
+        let base = simulate(&cfg, &mut h1, MemPolicy::Baseline, trace.clone().into_iter(), u64::MAX);
+        let mut h2 = hier();
+        let perfect = simulate(&cfg, &mut h2, MemPolicy::Perfect, trace.into_iter(), u64::MAX);
+        prop_assert!(perfect.cycles <= base.cycles);
+        prop_assert_eq!(perfect.instructions, base.instructions);
+        // Functional equivalence: same supply distribution.
+        prop_assert_eq!(
+            h1.stats().supplies_by_level.clone(),
+            h2.stats().supplies_by_level.clone()
+        );
+    }
+
+    /// The instruction budget is respected exactly.
+    #[test]
+    fn budget_truncates_exactly(trace in traces(), budget in 1u64..200) {
+        let cfg = CpuConfig::paper_eight_way();
+        let mut h = hier();
+        let n = trace.len() as u64;
+        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, trace.into_iter(), budget);
+        prop_assert_eq!(s.instructions, budget.min(n));
+    }
+}
+
+/// Warm loads on a real profile: splitting a run into two simulate calls
+/// continues cleanly (stats accumulate per phase, caches stay warm).
+#[test]
+fn phased_simulation_keeps_caches_warm() {
+    let cfg = CpuConfig::paper_eight_way();
+    let profile = profiles::by_name("164.gzip").unwrap();
+    let mut h = hier();
+    let mut program = Program::new(profile);
+    let first = simulate(&cfg, &mut h, MemPolicy::Baseline, &mut program, 30_000);
+    let warm_misses = h.stats().structures[1].misses;
+    let second = simulate(&cfg, &mut h, MemPolicy::Baseline, &mut program, 30_000);
+    let total_misses = h.stats().structures[1].misses;
+    // The second phase misses less than the first did (warm caches).
+    assert!(total_misses - warm_misses <= warm_misses);
+    assert_eq!(first.instructions, 30_000);
+    assert_eq!(second.instructions, 30_000);
+}

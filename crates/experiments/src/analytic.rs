@@ -1,0 +1,150 @@
+//! The paper's analytic data-access-time model (Equations 1 and 2, §2).
+//!
+//! Equation 1 gives the expected access time of a multi-level hierarchy
+//! from per-level (conditional) miss rates:
+//!
+//! ```text
+//! Σ_i  (Π_{n<i} miss_rate_n) · (hit_time_i·(1-miss_rate_i) + miss_time_i·miss_rate_i)
+//! ```
+//!
+//! Equation 2 extends it with the MNM: an identified miss skips the level's
+//! miss-detect time, so only the *unidentified* fraction of misses pays it.
+//! (The paper writes the surviving fraction as `MNM_aborted_i`; for the
+//! access time to shrink it must denote the misses that still probe.)
+
+use serde::{Deserialize, Serialize};
+
+/// Per-level inputs to the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelModel {
+    /// Cycles to return data on a hit.
+    pub hit_time: f64,
+    /// Cycles to determine a miss.
+    pub miss_time: f64,
+    /// Conditional miss rate: misses over references that reach this level.
+    pub miss_rate: f64,
+    /// Fraction of this level's misses that still pay `miss_time`
+    /// (1.0 without an MNM; `1 - coverage_i` with one).
+    pub unidentified: f64,
+}
+
+/// Expected data-access time without an MNM (Equation 1).
+pub fn eq1_access_time(levels: &[LevelModel], memory_latency: f64) -> f64 {
+    let stripped: Vec<LevelModel> =
+        levels.iter().map(|l| LevelModel { unidentified: 1.0, ..*l }).collect();
+    eq2_access_time(&stripped, memory_latency)
+}
+
+/// Expected data-access time with an MNM (Equation 2).
+pub fn eq2_access_time(levels: &[LevelModel], memory_latency: f64) -> f64 {
+    let mut reach = 1.0; // Π of miss rates of closer levels
+    let mut total = 0.0;
+    for l in levels {
+        total += reach * (l.hit_time * (1.0 - l.miss_rate) + l.miss_time * l.unidentified * l.miss_rate);
+        reach *= l.miss_rate;
+    }
+    total + reach * memory_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{Access, AccessKind, BypassSet, Hierarchy, HierarchyConfig};
+    use mnm_core::{Mnm, MnmConfig};
+    use rand::{Rng, SeedableRng};
+
+    fn level(hit: f64, rate: f64) -> LevelModel {
+        LevelModel { hit_time: hit, miss_time: hit, miss_rate: rate, unidentified: 1.0 }
+    }
+
+    #[test]
+    fn all_hits_cost_one_l1_access() {
+        let t = eq1_access_time(&[level(2.0, 0.0), level(8.0, 0.5)], 320.0);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_misses_cost_the_full_walk() {
+        let t = eq1_access_time(&[level(2.0, 1.0), level(8.0, 1.0)], 320.0);
+        assert!((t - (2.0 + 8.0 + 320.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_removes_miss_detect_time() {
+        let mut l2 = level(8.0, 1.0);
+        l2.unidentified = 0.0;
+        let t = eq2_access_time(&[level(2.0, 1.0), l2], 320.0);
+        assert!((t - (2.0 + 0.0 + 320.0)).abs() < 1e-12);
+    }
+
+    /// Equation 1 must match the simulator exactly when fed the measured
+    /// conditional miss rates (data path only).
+    #[test]
+    fn eq1_matches_simulated_mean_access_time() {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for _ in 0..200_000 {
+            let addr: u64 = rng.gen_range(0..(1u64 << 22)) & !7;
+            h.access(Access::load(addr), &BypassSet::none());
+        }
+        let levels: Vec<LevelModel> = h
+            .path(AccessKind::Load)
+            .iter()
+            .map(|sid| {
+                let st = h.stats().structures[sid.index()];
+                let cfg = h.cache(*sid).config();
+                LevelModel {
+                    hit_time: cfg.hit_latency as f64,
+                    miss_time: cfg.miss_latency as f64,
+                    miss_rate: st.miss_rate(),
+                    unidentified: 1.0,
+                }
+            })
+            .collect();
+        let predicted = eq1_access_time(&levels, h.config().memory_latency as f64);
+        let measured = h.stats().mean_access_time();
+        assert!(
+            (predicted - measured).abs() < 1e-6,
+            "Equation 1 {predicted} vs simulator {measured}"
+        );
+    }
+
+    /// Equation 2 must match the simulator when an MNM bypasses probes,
+    /// using measured per-level coverage.
+    #[test]
+    fn eq2_matches_simulated_mean_access_time_with_mnm() {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut mnm = Mnm::new(&h, MnmConfig::hmnm(4));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..150_000 {
+            let addr: u64 = rng.gen_range(0..(1u64 << 21)) & !7;
+            mnm.run_access(&mut h, Access::load(addr));
+        }
+        // Build per-level inputs from measured reference rates. A bypassed
+        // probe is a correctly-predicted miss: reference miss rate =
+        // (misses + bypasses) / (probes + bypasses); unidentified =
+        // misses / (misses + bypasses).
+        let levels: Vec<LevelModel> = h
+            .path(AccessKind::Load)
+            .iter()
+            .map(|sid| {
+                let st = h.stats().structures[sid.index()];
+                let cfg = h.cache(*sid).config();
+                let refs = (st.probes + st.bypasses) as f64;
+                let misses = (st.misses + st.bypasses) as f64;
+                LevelModel {
+                    hit_time: cfg.hit_latency as f64,
+                    miss_time: cfg.miss_latency as f64,
+                    miss_rate: if refs == 0.0 { 0.0 } else { misses / refs },
+                    unidentified: if misses == 0.0 { 1.0 } else { st.misses as f64 / misses },
+                }
+            })
+            .collect();
+        let predicted = eq2_access_time(&levels, h.config().memory_latency as f64);
+        let measured = h.stats().mean_access_time();
+        assert!(
+            (predicted - measured).abs() < 1e-6,
+            "Equation 2 {predicted} vs simulator {measured}"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Ablation 2: TMNM saturating-counter width (the paper fixes 3 bits).
+
+use mnm_experiments::ablation::counter_width_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", counter_width_table(RunParams::from_env()).render());
+}

@@ -1,0 +1,8 @@
+//! Ablation 6: the distributed MNM placement of paper §2.
+
+use mnm_experiments::extensions::distributed_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", distributed_table(RunParams::from_env()).render());
+}

@@ -1,0 +1,8 @@
+//! Ablation 5: inclusive vs non-inclusive hierarchies under HMNM4.
+
+use mnm_experiments::ablation::inclusion_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", inclusion_table(RunParams::from_env()).render());
+}

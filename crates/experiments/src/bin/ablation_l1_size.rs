@@ -1,0 +1,8 @@
+//! Ablation 8: how the MNM's benefit depends on the L1 size.
+
+use mnm_experiments::ablation::l1_size_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", l1_size_table(RunParams::from_env()).render());
+}

@@ -1,0 +1,8 @@
+//! Ablation 4: sensitivity of the serial MNM's benefit to its delay.
+
+use mnm_experiments::ablation::delay_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", delay_table(RunParams::from_env()).render());
+}

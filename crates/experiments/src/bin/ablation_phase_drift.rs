@@ -1,0 +1,9 @@
+//! Ablation 7: allocation-phase drift vs technique coverage (recovers the
+//! paper's SMNM niche, which stationary synthetic streams hide).
+
+use mnm_experiments::ablation::phase_drift_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", phase_drift_table(RunParams::from_env()).render());
+}

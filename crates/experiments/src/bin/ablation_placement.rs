@@ -1,0 +1,8 @@
+//! Ablation 1: parallel vs serial MNM placement (latency vs energy).
+
+use mnm_experiments::ablation::placement_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", placement_table(RunParams::from_env()).render());
+}

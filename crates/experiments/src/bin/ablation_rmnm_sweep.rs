@@ -1,0 +1,8 @@
+//! Ablation 3: RMNM geometry sweep beyond the paper's largest config.
+
+use mnm_experiments::ablation::rmnm_sweep_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", rmnm_sweep_table(RunParams::from_env()).render());
+}

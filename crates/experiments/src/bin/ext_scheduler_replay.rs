@@ -1,0 +1,9 @@
+//! Extension 2 (paper §4.5): the scheduler holds dependents of loads the
+//! MNM flags, avoiding speculative-wakeup replays.
+
+use mnm_experiments::extensions::scheduler_replay_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", scheduler_replay_table(RunParams::from_env()).render());
+}

@@ -1,0 +1,8 @@
+//! Extension 1 (paper §4.5): filtering definite-miss L2 TLB lookups.
+
+use mnm_experiments::extensions::tlb_filter_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", tlb_filter_table(RunParams::from_env()).render());
+}

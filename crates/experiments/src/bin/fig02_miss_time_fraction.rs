@@ -1,0 +1,12 @@
+//! Figure 2: fraction of the data access time spent on cache misses, for
+//! 2/3/5/7-level hierarchies, over all 20 applications.
+
+use mnm_experiments::depth::depth_fractions;
+use mnm_experiments::RunParams;
+
+fn main() {
+    let params = RunParams::from_env();
+    let (time_table, _) = depth_fractions(params);
+    print!("{}", time_table.render());
+    mnm_experiments::report::maybe_chart(&time_table);
+}

@@ -1,0 +1,12 @@
+//! Figure 3: fraction of the cache power consumption spent on cache
+//! misses, for 2/3/5/7-level hierarchies, over all 20 applications.
+
+use mnm_experiments::depth::depth_fractions;
+use mnm_experiments::RunParams;
+
+fn main() {
+    let params = RunParams::from_env();
+    let (_, power_table) = depth_fractions(params);
+    print!("{}", power_table.render());
+    mnm_experiments::report::maybe_chart(&power_table);
+}

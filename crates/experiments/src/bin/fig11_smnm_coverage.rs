@@ -1,0 +1,11 @@
+//! Figure 11: SMNM miss coverage over all 20 applications.
+
+use mnm_experiments::coverage::coverage_table;
+use mnm_experiments::{RunParams, FIG11_CONFIGS};
+
+fn main() {
+    let params = RunParams::from_env();
+    let t = coverage_table("Figure 11: SMNM coverage [%]", &FIG11_CONFIGS, params);
+    print!("{}", t.render());
+    mnm_experiments::report::maybe_chart(&t);
+}

@@ -1,0 +1,11 @@
+//! Figure 12: TMNM miss coverage over all 20 applications.
+
+use mnm_experiments::coverage::coverage_table;
+use mnm_experiments::{RunParams, FIG12_CONFIGS};
+
+fn main() {
+    let params = RunParams::from_env();
+    let t = coverage_table("Figure 12: TMNM coverage [%]", &FIG12_CONFIGS, params);
+    print!("{}", t.render());
+    mnm_experiments::report::maybe_chart(&t);
+}

@@ -1,0 +1,31 @@
+//! Figure 14: hybrid (HMNM) miss coverage over all 20 applications, plus
+//! the Table 3 composition of each hybrid.
+
+use mnm_experiments::coverage::coverage_table;
+use mnm_experiments::{RunParams, FIG14_CONFIGS};
+
+fn main() {
+    println!("Table 3: HMNM compositions");
+    for n in 1..=4u8 {
+        let cfg = mnm_core::MnmConfig::hmnm(n);
+        let parts: Vec<String> = cfg
+            .assignments
+            .iter()
+            .map(|a| {
+                let labels: Vec<String> = a.techniques.iter().map(|t| t.label()).collect();
+                format!("L{}-{}: {}", a.levels.start(), a.levels.end().min(&5), labels.join("+"))
+            })
+            .collect();
+        println!(
+            "  HMNM{n}: {} + {}",
+            parts.join("; "),
+            cfg.rmnm.map(|r| r.label()).unwrap_or_default()
+        );
+    }
+    println!();
+
+    let params = RunParams::from_env();
+    let t = coverage_table("Figure 14: HMNM coverage [%]", &FIG14_CONFIGS, params);
+    print!("{}", t.render());
+    mnm_experiments::report::maybe_chart(&t);
+}

@@ -1,0 +1,12 @@
+//! Figure 15: reduction in execution cycles with a parallel MNM, over all
+//! 20 applications (TMNM_12x3, CMNM_8_10, HMNM2, HMNM4, perfect).
+
+use mnm_experiments::timing::execution_reduction_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    let params = RunParams::from_env();
+    let t = execution_reduction_table(params);
+    print!("{}", t.render());
+    mnm_experiments::report::maybe_chart(&t);
+}

@@ -1,0 +1,12 @@
+//! Figure 16: reduction in cache power consumption with a serial MNM, over
+//! all 20 applications (TMNM_12x3, CMNM_8_10, HMNM2, HMNM4, perfect).
+
+use mnm_experiments::power::power_reduction_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    let params = RunParams::from_env();
+    let t = power_reduction_table(params);
+    print!("{}", t.render());
+    mnm_experiments::report::maybe_chart(&t);
+}

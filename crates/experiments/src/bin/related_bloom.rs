@@ -1,0 +1,9 @@
+//! Related-work comparison: counting Bloom filters (Peir et al., ICS 2002)
+//! vs the paper's bit-slice counter tables at comparable storage.
+
+use mnm_experiments::related_work::bloom_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", bloom_table(RunParams::from_env()).render());
+}

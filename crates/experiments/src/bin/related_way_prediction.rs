@@ -1,0 +1,9 @@
+//! Related-work comparison: MRU way prediction (Powell et al.) vs the
+//! serial MNM, and both combined.
+
+use mnm_experiments::related_work::way_prediction_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    print!("{}", way_prediction_table(RunParams::from_env()).render());
+}

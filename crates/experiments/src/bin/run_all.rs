@@ -1,0 +1,62 @@
+//! Regenerate every table and figure, printing each and writing markdown
+//! into `results/`.
+
+use std::fs;
+use std::time::Instant;
+
+use mnm_experiments::ablation;
+use mnm_experiments::coverage::coverage_table;
+use mnm_experiments::depth::depth_fractions;
+use mnm_experiments::extensions;
+use mnm_experiments::power::power_reduction_table;
+use mnm_experiments::timing::{characteristics_table, execution_reduction_table};
+use mnm_experiments::{RunParams, Table, FIG10_CONFIGS, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS, FIG14_CONFIGS};
+
+fn emit(md: &mut String, table: &Table) {
+    print!("{}", table.render());
+    println!();
+    md.push_str(&table.to_markdown());
+    md.push('\n');
+}
+
+fn main() {
+    let params = RunParams::from_env();
+    let started = Instant::now();
+    let mut md = String::from("# Generated experiment results\n\n");
+    md.push_str(&format!(
+        "Parameters: warmup {} + measured {} instructions per app.\n\n",
+        params.warmup, params.measure
+    ));
+
+    let (fig2, fig3) = depth_fractions(params);
+    emit(&mut md, &fig2);
+    emit(&mut md, &fig3);
+    emit(&mut md, &characteristics_table(params));
+    emit(&mut md, &coverage_table("Figure 10: RMNM coverage [%]", &FIG10_CONFIGS, params));
+    emit(&mut md, &coverage_table("Figure 11: SMNM coverage [%]", &FIG11_CONFIGS, params));
+    emit(&mut md, &coverage_table("Figure 12: TMNM coverage [%]", &FIG12_CONFIGS, params));
+    emit(&mut md, &coverage_table("Figure 13: CMNM coverage [%]", &FIG13_CONFIGS, params));
+    emit(&mut md, &coverage_table("Figure 14: HMNM coverage [%]", &FIG14_CONFIGS, params));
+    emit(&mut md, &execution_reduction_table(params));
+    emit(&mut md, &power_reduction_table(params));
+
+    emit(&mut md, &ablation::placement_table(params));
+    emit(&mut md, &ablation::counter_width_table(params));
+    emit(&mut md, &ablation::rmnm_sweep_table(params));
+    emit(&mut md, &ablation::delay_table(params));
+    emit(&mut md, &ablation::inclusion_table(params));
+    emit(&mut md, &ablation::phase_drift_table(params));
+    emit(&mut md, &ablation::l1_size_table(params));
+    emit(&mut md, &extensions::distributed_table(params));
+    emit(&mut md, &extensions::tlb_filter_table(params));
+    emit(&mut md, &extensions::scheduler_replay_table(params));
+    emit(&mut md, &mnm_experiments::related_work::way_prediction_table(params));
+    emit(&mut md, &mnm_experiments::related_work::bloom_table(params));
+
+    let _ = fs::create_dir_all("results");
+    match fs::write("results/all_experiments.md", &md) {
+        Ok(()) => println!("wrote results/all_experiments.md"),
+        Err(e) => eprintln!("could not write results/all_experiments.md: {e}"),
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

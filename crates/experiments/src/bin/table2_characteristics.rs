@@ -1,0 +1,11 @@
+//! Table 2: per-application characteristics (cycles, L1 accesses,
+//! per-structure hit rates) on the paper's 5-level configuration.
+
+use mnm_experiments::timing::characteristics_table;
+use mnm_experiments::RunParams;
+
+fn main() {
+    let params = RunParams::from_env();
+    let t = characteristics_table(params);
+    print!("{}", t.render());
+}

@@ -1,0 +1,87 @@
+//! Shared run parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction budgets for one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunParams {
+    /// Instructions executed before statistics are reset (cache/MNM
+    /// warmup, the reproduction's stand-in for the paper's SimPoint
+    /// fast-forward).
+    pub warmup: u64,
+    /// Instructions measured after warmup.
+    pub measure: u64,
+}
+
+impl RunParams {
+    /// Default budgets: 300 k warmup + 2 M measured.
+    pub fn standard() -> Self {
+        RunParams { warmup: 300_000, measure: 2_000_000 }
+    }
+
+    /// Tiny budgets for smoke tests and benches.
+    pub fn quick() -> Self {
+        RunParams { warmup: 20_000, measure: 100_000 }
+    }
+
+    /// Standard budgets overridden by the `JSN_WARMUP` and `JSN_MEASURE`
+    /// environment variables (instruction counts).
+    pub fn from_env() -> Self {
+        let mut p = Self::standard();
+        if let Some(w) = read_env("JSN_WARMUP") {
+            p.warmup = w;
+        }
+        if let Some(m) = read_env("JSN_MEASURE") {
+            p.measure = m.max(1);
+        }
+        p
+    }
+
+    /// Total instructions driven per run.
+    pub fn total(&self) -> u64 {
+        self.warmup + self.measure
+    }
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+fn read_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.replace('_', "").parse().ok()
+}
+
+/// Worker-thread count for the parallel runner: `JSN_THREADS` or the
+/// machine's available parallelism.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("JSN_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_totals() {
+        let p = RunParams::standard();
+        assert_eq!(p.total(), 2_300_000);
+        assert_eq!(RunParams::default(), p);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(RunParams::quick().total() < RunParams::standard().total());
+    }
+
+    #[test]
+    fn workers_are_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text / markdown table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple numeric results table: one labelled row per application (plus
+/// derived mean rows), one column per configuration/series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table heading, e.g. `"Figure 12: TMNM coverage [%]"`.
+    pub title: String,
+    /// Label of the row-key column, e.g. `"app"`.
+    pub key: String,
+    /// Series names.
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Fraction digits printed.
+    pub precision: usize,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, key: &str, columns: &[String]) -> Self {
+        Table {
+            title: title.to_owned(),
+            key: key.to_owned(),
+            columns: columns.to_vec(),
+            rows: Vec::new(),
+            precision: 1,
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch in `{}`", self.title);
+        self.rows.push((label.to_owned(), values));
+    }
+
+    /// Append an arithmetic-mean row over the existing rows (the paper's
+    /// "Arith. Mean" series).
+    pub fn push_mean_row(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.rows.len() as f64;
+        let means: Vec<f64> = (0..self.columns.len())
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect();
+        self.rows.push(("Arith. Mean".to_owned(), means));
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Value at `(row_label, column_name)`.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.column(column)?;
+        self.rows.iter().find(|(l, _)| l == row).map(|(_, v)| v[c])
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(l, _)| l.len())
+                .chain([self.key.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (c, name) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, v)| format!("{:.*}", self.precision, v[c]).len())
+                .chain([name.len()])
+                .max()
+                .unwrap_or(4);
+            widths.push(w);
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<w$}", self.key, w = widths[0]);
+        for (c, name) in self.columns.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", name, w = widths[c + 1]);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{:<w$}", label, w = widths[0]);
+            for (c, v) in values.iter().enumerate() {
+                let _ = write!(out, "  {:>w$.p$}", v, w = widths[c + 1], p = self.precision);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a horizontal ASCII bar chart (one group per row, one bar
+    /// per series), the closest text form of the paper's figures. Bars are
+    /// scaled to the table's maximum value.
+    pub fn render_chart(&self) -> String {
+        const WIDTH: f64 = 48.0;
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1e-9);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.columns.iter().map(String::len))
+            .max()
+            .unwrap_or(4);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (label, values) in &self.rows {
+            let _ = writeln!(out, "{label}");
+            for (c, v) in values.iter().enumerate() {
+                let len = ((v.abs() / max) * WIDTH).round() as usize;
+                let bar: String = std::iter::repeat('#').take(len).collect();
+                let sign = if *v < 0.0 { "-" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {:<w$} |{sign}{bar} {:.*}",
+                    self.columns[c],
+                    self.precision,
+                    v,
+                    w = label_w
+                );
+            }
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| {} |", self.key);
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "| {label} |");
+            for v in values {
+                let _ = write!(out, " {:.*} |", self.precision, v);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Print `table`'s ASCII chart when the `JSN_CHART` environment variable
+/// is set (any value). Figure binaries call this after the table.
+pub fn maybe_chart(table: &Table) {
+    if std::env::var_os("JSN_CHART").is_some() {
+        print!("{}", table.render_chart());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Coverage", "app", &["A".to_owned(), "B".to_owned()]);
+        t.push_row("gzip", vec![10.0, 20.0]);
+        t.push_row("mcf", vec![30.0, 40.0]);
+        t
+    }
+
+    #[test]
+    fn mean_row_averages_columns() {
+        let mut t = sample();
+        t.push_mean_row();
+        assert_eq!(t.value("Arith. Mean", "A"), Some(20.0));
+        assert_eq!(t.value("Arith. Mean", "B"), Some(30.0));
+    }
+
+    #[test]
+    fn lookup_by_labels() {
+        let t = sample();
+        assert_eq!(t.value("mcf", "B"), Some(40.0));
+        assert_eq!(t.value("nope", "B"), None);
+        assert_eq!(t.value("mcf", "C"), None);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = sample().render();
+        for needle in ["Coverage", "gzip", "mcf", "10.0", "40.0"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| app | A | B |"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        sample().push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn chart_scales_bars_to_maximum() {
+        let chart = sample().render_chart();
+        // The maximum value (40) gets the longest bar; 10 gets a quarter.
+        let bars: Vec<usize> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert_eq!(bars.len(), 4);
+        let max = *bars.iter().max().unwrap();
+        let min = *bars.iter().min().unwrap();
+        assert_eq!(max, 48);
+        assert!((min as f64 - 12.0).abs() <= 1.0, "quarter-length bar, got {min}");
+    }
+
+    #[test]
+    fn chart_marks_negative_values() {
+        let mut t = Table::new("x", "app", &["a".to_owned()]);
+        t.push_row("r", vec![-5.0]);
+        assert!(t.render_chart().contains("|-"));
+    }
+}

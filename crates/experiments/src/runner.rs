@@ -1,0 +1,319 @@
+//! Per-application simulation drivers and the parallel job runner.
+
+use cache_sim::{Access, Hierarchy, HierarchyConfig, HierarchyStats};
+use mnm_core::{Mnm, MnmConfig, MnmStats};
+use ooo_model::{simulate, CpuConfig, CpuStats, MemPolicy};
+use parking_lot::Mutex;
+use trace_synth::{AppProfile, InstrKind, Program};
+
+use crate::params::{worker_threads, RunParams};
+
+/// Which memory-filtering configuration a run uses.
+#[derive(Debug, Clone)]
+pub enum ConfigKind {
+    /// Plain hierarchy, no filtering.
+    Baseline,
+    /// A real MNM built from the given configuration.
+    Mnm(MnmConfig),
+    /// The perfect oracle (paper §4.3).
+    Perfect,
+}
+
+impl ConfigKind {
+    /// Display label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            ConfigKind::Baseline => "Baseline".to_owned(),
+            ConfigKind::Mnm(c) => c.name.clone(),
+            ConfigKind::Perfect => "Perfect".to_owned(),
+        }
+    }
+
+    /// Parse a table label: `"Baseline"`, `"Perfect"`, or any
+    /// [`MnmConfig::parse`] label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label (experiment configuration is static).
+    pub fn parse(label: &str) -> Self {
+        match label {
+            "Baseline" => ConfigKind::Baseline,
+            "Perfect" => ConfigKind::Perfect,
+            other => ConfigKind::Mnm(
+                MnmConfig::parse(other).unwrap_or_else(|e| panic!("bad experiment config: {e}")),
+            ),
+        }
+    }
+}
+
+/// Everything measured in one application run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Application name.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Hierarchy counters over the measured phase.
+    pub hierarchy: HierarchyStats,
+    /// MNM counters over the measured phase (None for baseline/perfect).
+    pub mnm: Option<MnmStats>,
+    /// Per-MNM-query energy inputs: component storage, for the power model.
+    pub mnm_storage: Vec<mnm_core::ComponentStorage>,
+    /// MNM placement (copied from the config; None for baseline/perfect).
+    pub mnm_placement: Option<mnm_core::MnmPlacement>,
+    /// Core timing results (zeroed for functional runs).
+    pub cpu: CpuStats,
+    /// 1-based level of each structure (parallel to `hierarchy.structures`).
+    pub level_of_structure: Vec<u8>,
+    /// Structure names (parallel to `hierarchy.structures`).
+    pub structure_names: Vec<String>,
+}
+
+impl AppRun {
+    /// Accesses that missed in L1 (serial-MNM query count).
+    pub fn l1_miss_accesses(&self) -> u64 {
+        // Every L1 miss probes a level-2 structure (or memory); count the
+        // references arriving at level-2 structures.
+        self.hierarchy
+            .structures
+            .iter()
+            .zip(&self.level_of_structure)
+            .filter(|(_, &lvl)| lvl == 2)
+            .map(|(s, _)| s.probes + s.bypasses)
+            .sum()
+    }
+}
+
+/// Drive one application through the full OoO timing model.
+pub fn run_app_timed(
+    profile: &AppProfile,
+    hier_cfg: &HierarchyConfig,
+    cpu_cfg: &CpuConfig,
+    kind: &ConfigKind,
+    params: RunParams,
+) -> AppRun {
+    let mut hierarchy = Hierarchy::new(hier_cfg.clone());
+    let mut mnm = match kind {
+        ConfigKind::Mnm(cfg) => Some(Mnm::new(&hierarchy, cfg.clone())),
+        _ => None,
+    };
+    let mut program = Program::new(profile.clone());
+
+    // Warmup.
+    {
+        let policy = match (&mut mnm, kind) {
+            (Some(m), _) => MemPolicy::Mnm(m),
+            (None, ConfigKind::Perfect) => MemPolicy::Perfect,
+            (None, _) => MemPolicy::Baseline,
+        };
+        simulate(cpu_cfg, &mut hierarchy, policy, &mut program, params.warmup);
+    }
+    hierarchy.reset_stats();
+    if let Some(m) = &mut mnm {
+        m.reset_stats();
+    }
+
+    // Measured phase.
+    let cpu = {
+        let policy = match (&mut mnm, kind) {
+            (Some(m), _) => MemPolicy::Mnm(m),
+            (None, ConfigKind::Perfect) => MemPolicy::Perfect,
+            (None, _) => MemPolicy::Baseline,
+        };
+        simulate(cpu_cfg, &mut hierarchy, policy, &mut program, params.measure)
+    };
+
+    finish(profile, kind, hierarchy, mnm, cpu)
+}
+
+/// Drive one application through the hierarchy only (no core timing):
+/// instruction fetches at fetch-block granularity plus every load/store.
+/// Much faster than [`run_app_timed`]; used for the coverage and power
+/// experiments, which do not need cycles.
+pub fn run_app_functional(
+    profile: &AppProfile,
+    hier_cfg: &HierarchyConfig,
+    kind: &ConfigKind,
+    params: RunParams,
+) -> AppRun {
+    let mut hierarchy = Hierarchy::new(hier_cfg.clone());
+    let mut mnm = match kind {
+        ConfigKind::Mnm(cfg) => Some(Mnm::new(&hierarchy, cfg.clone())),
+        _ => None,
+    };
+    let fetch_shift = hierarchy
+        .structures()
+        .iter()
+        .find(|s| s.level == 1 && !s.data_only)
+        .map(|s| s.block_bytes.trailing_zeros())
+        .expect("L1 instruction structure");
+
+    let mut program = Program::new(profile.clone());
+    // Mirrors the timed model's fetch behaviour exactly (including the
+    // refetch after a mispredict and the fresh fetch block per phase) so
+    // functional and timed runs see identical reference streams.
+    let mut cur_block = u64::MAX;
+    let mut drive = |hierarchy: &mut Hierarchy, mnm: &mut Option<Mnm>, n: u64| {
+        cur_block = u64::MAX;
+        let mut done = 0;
+        for instr in &mut program {
+            let block = instr.pc >> fetch_shift;
+            if block != cur_block {
+                cur_block = block;
+                run_one(hierarchy, mnm, kind, Access::fetch(instr.pc));
+            }
+            match instr.kind {
+                InstrKind::Load { addr } => run_one(hierarchy, mnm, kind, Access::load(addr)),
+                InstrKind::Store { addr } => run_one(hierarchy, mnm, kind, Access::store(addr)),
+                InstrKind::Branch { mispredicted } => {
+                    if mispredicted {
+                        cur_block = u64::MAX;
+                    }
+                }
+                InstrKind::Op { .. } => {}
+            }
+            done += 1;
+            if done >= n {
+                break;
+            }
+        }
+    };
+
+    drive(&mut hierarchy, &mut mnm, params.warmup);
+    hierarchy.reset_stats();
+    if let Some(m) = &mut mnm {
+        m.reset_stats();
+    }
+    drive(&mut hierarchy, &mut mnm, params.measure);
+
+    finish(profile, kind, hierarchy, mnm, CpuStats::default())
+}
+
+fn run_one(hierarchy: &mut Hierarchy, mnm: &mut Option<Mnm>, kind: &ConfigKind, access: Access) {
+    match (mnm, kind) {
+        (Some(m), _) => {
+            m.run_access(hierarchy, access);
+        }
+        (None, ConfigKind::Perfect) => {
+            let bypass = mnm_core::perfect_bypass(hierarchy, access);
+            hierarchy.access(access, &bypass);
+        }
+        (None, _) => {
+            hierarchy.access(access, &cache_sim::BypassSet::none());
+        }
+    }
+}
+
+fn finish(
+    profile: &AppProfile,
+    kind: &ConfigKind,
+    hierarchy: Hierarchy,
+    mnm: Option<Mnm>,
+    cpu: CpuStats,
+) -> AppRun {
+    AppRun {
+        app: profile.name.clone(),
+        config: kind.label(),
+        level_of_structure: hierarchy.structures().iter().map(|s| s.level).collect(),
+        structure_names: hierarchy.structures().iter().map(|s| s.name.clone()).collect(),
+        hierarchy: hierarchy.stats().clone(),
+        mnm_storage: mnm.as_ref().map(|m| m.storage()).unwrap_or_default(),
+        mnm_placement: mnm.as_ref().map(|m| m.config().placement),
+        mnm: mnm.map(|m| m.stats().clone()),
+        cpu,
+    }
+}
+
+/// Run `jobs` on a bounded worker pool, preserving order.
+pub fn parallel_run<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let jobs_ref = &jobs;
+    let f_ref = &f;
+    let results_ref = &results;
+    let workers = worker_threads().min(n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let out = f_ref(&jobs_ref[idx]);
+                results_ref.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results.into_inner().into_iter().map(|o| o.expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_synth::profiles;
+
+    #[test]
+    fn functional_and_timed_agree_on_cache_contents() {
+        let profile = profiles::by_name("164.gzip").unwrap();
+        let params = RunParams { warmup: 2_000, measure: 20_000 };
+        let cfg = HierarchyConfig::paper_five_level();
+        let f = run_app_functional(&profile, &cfg, &ConfigKind::Baseline, params);
+        let t = run_app_timed(&profile, &cfg, &CpuConfig::paper_eight_way(), &ConfigKind::Baseline, params);
+        // The same reference stream hits the same levels.
+        assert_eq!(f.hierarchy.data_accesses, t.hierarchy.data_accesses);
+        assert_eq!(f.hierarchy.supplies_by_level, t.hierarchy.supplies_by_level);
+        assert_eq!(t.cpu.instructions, 20_000);
+        assert_eq!(f.cpu.instructions, 0);
+    }
+
+    #[test]
+    fn mnm_runs_collect_coverage() {
+        let profile = profiles::by_name("181.mcf").unwrap();
+        let params = RunParams { warmup: 5_000, measure: 30_000 };
+        let cfg = HierarchyConfig::paper_five_level();
+        let run = run_app_functional(&profile, &cfg, &ConfigKind::parse("HMNM4"), params);
+        let st = run.mnm.expect("mnm stats");
+        assert!(st.bypassable_misses() > 0);
+        assert!(st.coverage() > 0.0);
+        assert!(!run.mnm_storage.is_empty());
+    }
+
+    #[test]
+    fn perfect_covers_everything() {
+        let profile = profiles::by_name("181.mcf").unwrap();
+        let params = RunParams { warmup: 2_000, measure: 20_000 };
+        let cfg = HierarchyConfig::paper_five_level();
+        let run = run_app_functional(&profile, &cfg, &ConfigKind::Perfect, params);
+        // Every probed non-L1 structure miss should have been bypassed:
+        // only L1 misses remain.
+        for (st, lvl) in run.hierarchy.structures.iter().zip(&run.level_of_structure) {
+            if *lvl >= 2 {
+                assert_eq!(st.misses, 0, "perfect MNM leaves no probed miss at level {lvl}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_preserves_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = parallel_run(jobs, |&j| j * j);
+        assert_eq!(out[7], 49);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn config_kind_labels_round_trip() {
+        for label in ["Baseline", "Perfect", "HMNM3", "TMNM_12x3"] {
+            assert_eq!(ConfigKind::parse(label).label(), label);
+        }
+    }
+}

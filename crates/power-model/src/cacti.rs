@@ -1,0 +1,204 @@
+//! CACTI-style component energy model.
+
+use cache_sim::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-component energy constants, in nanojoules. Defaults approximate a
+/// 0.18 µm process (the CACTI 3.1 era of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Decoder energy per address bit decoded.
+    pub decode_nj_per_bit: f64,
+    /// Wordline energy per column driven.
+    pub wordline_nj_per_col: f64,
+    /// Bitline precharge+swing energy per bit-cell on the active subarray
+    /// (scales with rows × cols of the subarray).
+    pub bitline_nj_per_cell: f64,
+    /// Sense-amplifier energy per column sensed.
+    pub sense_nj_per_col: f64,
+    /// Tag read + comparator energy per way compared.
+    pub tag_nj_per_way: f64,
+    /// Output driver energy per data bit delivered.
+    pub output_nj_per_bit: f64,
+    /// Routing energy coefficient: multiplied by the square root of the
+    /// total bit count (H-tree wire length grows with the array side).
+    pub route_nj_per_sqrt_bit: f64,
+    /// Maximum subarray rows before folding.
+    pub max_subarray_rows: u64,
+    /// Maximum subarray columns before splitting.
+    pub max_subarray_cols: u64,
+    /// Energy per flip-flop toggled in random logic (SMNM checkers).
+    pub ff_nj: f64,
+    /// Energy per equivalent gate in random logic (SMNM checkers).
+    pub gate_nj: f64,
+    /// Activation factor for small MNM arrays: narrow read-out ports and
+    /// divided word/bit lines activate only a fraction of the array that a
+    /// full cache-line read would.
+    pub small_array_activation: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            decode_nj_per_bit: 0.004,
+            wordline_nj_per_col: 0.00008,
+            bitline_nj_per_cell: 0.0000045,
+            sense_nj_per_col: 0.00012,
+            tag_nj_per_way: 0.010,
+            output_nj_per_bit: 0.0006,
+            route_nj_per_sqrt_bit: 0.00055,
+            max_subarray_rows: 256,
+            max_subarray_cols: 512,
+            ff_nj: 0.00018,
+            gate_nj: 0.000001,
+            small_array_activation: 0.06,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy (nJ) of one read probe of a raw SRAM array of
+    /// `rows × cols` bits, after subarray partitioning. This is the shared
+    /// primitive behind both cache and MNM-table costs.
+    pub fn array_read_energy(&self, rows: u64, cols: u64) -> f64 {
+        let total_bits = (rows * cols) as f64;
+        let mut r = rows.max(1);
+        let mut c = cols.max(1);
+        // Fold tall arrays into wider ones.
+        while r > self.max_subarray_rows && r % 2 == 0 {
+            r /= 2;
+            c *= 2;
+        }
+        // Split wide arrays into subarrays; only one is activated, the
+        // rest cost routing.
+        while c > self.max_subarray_cols && c % 2 == 0 {
+            c /= 2;
+        }
+        let index_bits = (64 - rows.max(2).leading_zeros()) as f64;
+        let decode = self.decode_nj_per_bit * index_bits;
+        let wordline = self.wordline_nj_per_col * c as f64;
+        let bitline = self.bitline_nj_per_cell * (r * c) as f64;
+        let sense = self.sense_nj_per_col * c as f64;
+        let route = self.route_nj_per_sqrt_bit * total_bits.sqrt();
+        decode + wordline + bitline + sense + route
+    }
+
+    /// Dynamic energy (nJ) of one read probe (tag + data, probed in
+    /// parallel as the paper's Equation 1 assumes).
+    pub fn cache_read_energy(&self, cfg: &CacheConfig) -> f64 {
+        let data_rows = cfg.num_sets();
+        let data_cols = cfg.block_bytes * 8 * u64::from(cfg.assoc);
+        let data = self.array_read_energy(data_rows, data_cols);
+        // Tag array: ~(32 - index - offset) tag bits + state per way.
+        let tag_bits = 32u64
+            .saturating_sub(data_rows.trailing_zeros() as u64)
+            .saturating_sub(cfg.block_shift() as u64)
+            + 2;
+        let tag_array = self.array_read_energy(data_rows, tag_bits * u64::from(cfg.assoc));
+        let compare = self.tag_nj_per_way * f64::from(cfg.assoc);
+        let output = self.output_nj_per_bit * 64.0; // critical word out
+        data + tag_array + compare + output
+    }
+
+    /// Dynamic energy (nJ) of one line fill (write of a full block plus a
+    /// tag update; bitline writes swing harder than reads).
+    pub fn cache_write_energy(&self, cfg: &CacheConfig) -> f64 {
+        1.15 * self.cache_read_energy(cfg)
+            + self.output_nj_per_bit * (cfg.block_bytes * 8) as f64 * 0.1
+    }
+
+    /// Dynamic energy (nJ) of probing/updating a small MNM storage array of
+    /// `bits` total bits, modelled as a square array.
+    pub fn small_array_energy(&self, bits: u64) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        let side = (bits as f64).sqrt().ceil() as u64;
+        self.small_array_activation * self.array_read_energy(side.max(1), bits.div_ceil(side.max(1)))
+    }
+
+    /// Dynamic energy (nJ) of one SMNM checker evaluation: `ffs` flip-flops
+    /// plus O(width⁴) comparator/adder logic (the paper's §3.2 complexity
+    /// bound, costed per gate).
+    pub fn smnm_checker_energy(&self, ffs: u64, sum_width: u32) -> f64 {
+        // Only a fraction of the logic toggles per access.
+        let gates = f64::from(sum_width).powi(4) * 0.25;
+        self.ff_nj * ffs as f64 * 0.02 + self.gate_nj * gates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_caches() -> Vec<CacheConfig> {
+        vec![
+            CacheConfig::new("l1", 4 * 1024, 1, 32, 2),
+            CacheConfig::new("l2", 16 * 1024, 2, 32, 8),
+            CacheConfig::new("l3", 128 * 1024, 4, 64, 18),
+            CacheConfig::new("l4", 512 * 1024, 4, 128, 34),
+            CacheConfig::new("l5", 2 * 1024 * 1024, 8, 128, 70),
+        ]
+    }
+
+    #[test]
+    fn energy_grows_monotonically_with_capacity() {
+        let m = EnergyModel::default();
+        let energies: Vec<f64> = paper_caches().iter().map(|c| m.cache_read_energy(c)).collect();
+        for w in energies.windows(2) {
+            assert!(w[1] > w[0], "energy must grow with cache level: {energies:?}");
+        }
+    }
+
+    #[test]
+    fn energy_scales_sublinearly_with_capacity() {
+        // CACTI-like: 512x capacity should cost far less than 512x energy.
+        let m = EnergyModel::default();
+        let e1 = m.cache_read_energy(&CacheConfig::new("a", 4 * 1024, 1, 32, 1));
+        let e512 = m.cache_read_energy(&CacheConfig::new("b", 2 * 1024 * 1024, 8, 128, 1));
+        assert!(e512 / e1 < 100.0, "ratio {}", e512 / e1);
+        assert!(e512 / e1 > 4.0, "ratio {}", e512 / e1);
+    }
+
+    #[test]
+    fn reasonable_absolute_magnitudes_for_180nm() {
+        let m = EnergyModel::default();
+        let l1 = m.cache_read_energy(&CacheConfig::new("l1", 4 * 1024, 1, 32, 2));
+        let l5 = m.cache_read_energy(&CacheConfig::new("l5", 2 * 1024 * 1024, 8, 128, 70));
+        assert!((0.05..2.0).contains(&l1), "L1 read {l1} nJ");
+        assert!((0.5..20.0).contains(&l5), "L5 read {l5} nJ");
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let m = EnergyModel::default();
+        for c in paper_caches() {
+            assert!(m.cache_write_energy(&c) > m.cache_read_energy(&c));
+        }
+    }
+
+    #[test]
+    fn mnm_structures_are_much_cheaper_than_caches() {
+        // Paper §4.2: "compared to the caches the delay and power
+        // consumption is very small". CMNM_8_12 is the largest table:
+        // 8 * 4096 * 3 bits.
+        let m = EnergyModel::default();
+        let cmnm = m.small_array_energy(8 * 4096 * 3);
+        let l2 = m.cache_read_energy(&CacheConfig::new("l2", 16 * 1024, 2, 32, 8));
+        assert!(cmnm < l2, "CMNM {cmnm} nJ must be below an L2 probe {l2} nJ");
+    }
+
+    #[test]
+    fn smnm_checker_energy_grows_with_width() {
+        let m = EnergyModel::default();
+        let small = m.smnm_checker_energy(651, 10);
+        let large = m.smnm_checker_energy(2871, 20);
+        assert!(large > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn zero_bits_costs_nothing() {
+        assert_eq!(EnergyModel::default().small_array_energy(0), 0.0);
+    }
+}

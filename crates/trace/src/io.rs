@@ -1,0 +1,210 @@
+//! Compact binary trace persistence.
+//!
+//! Traces are regenerable from their profile, but persisting them lets the
+//! benchmark harness replay exactly the same stream across tool versions
+//! (SimpleScalar's EIO-trace role). The format is a fixed-size little-
+//! endian record per instruction behind a magic/version header.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{Instr, InstrKind};
+
+const MAGIC: &[u8; 4] = b"JSNT";
+const VERSION: u16 = 1;
+
+const TAG_OP: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_BRANCH: u8 = 3;
+
+/// Errors produced when reading a persisted trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Missing/incorrect magic bytes or unsupported version.
+    BadHeader,
+    /// A record carried an unknown kind tag.
+    BadRecord(u8),
+    /// The payload ended mid-record.
+    Truncated,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failure: {e}"),
+            TraceIoError::BadHeader => write!(f, "not a JSNT trace or unsupported version"),
+            TraceIoError::BadRecord(tag) => write!(f, "unknown instruction tag {tag}"),
+            TraceIoError::Truncated => write!(f, "trace payload ended mid-record"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serialize `instrs` to `writer`.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn write_trace<W: Write, I: IntoIterator<Item = Instr>>(
+    mut writer: W,
+    instrs: I,
+) -> Result<u64, TraceIoError> {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let mut count = 0u64;
+    for i in instrs {
+        buf.put_u64_le(i.pc);
+        buf.put_u8(i.src1);
+        buf.put_u8(i.src2);
+        match i.kind {
+            InstrKind::Op { latency } => {
+                buf.put_u8(TAG_OP);
+                buf.put_u8(latency);
+                buf.put_u64_le(0);
+            }
+            InstrKind::Load { addr } => {
+                buf.put_u8(TAG_LOAD);
+                buf.put_u8(0);
+                buf.put_u64_le(addr);
+            }
+            InstrKind::Store { addr } => {
+                buf.put_u8(TAG_STORE);
+                buf.put_u8(0);
+                buf.put_u64_le(addr);
+            }
+            InstrKind::Branch { mispredicted } => {
+                buf.put_u8(TAG_BRANCH);
+                buf.put_u8(u8::from(mispredicted));
+                buf.put_u64_le(0);
+            }
+        }
+        count += 1;
+        if buf.len() >= 60 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(count)
+}
+
+/// Deserialize a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, a bad header, an unknown
+/// record tag, or a truncated payload.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<Instr>, TraceIoError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 6 {
+        return Err(TraceIoError::BadHeader);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC || buf.get_u16_le() != VERSION {
+        return Err(TraceIoError::BadHeader);
+    }
+
+    const RECORD: usize = 8 + 1 + 1 + 1 + 1 + 8;
+    let mut out = Vec::with_capacity(buf.remaining() / RECORD);
+    while buf.has_remaining() {
+        if buf.remaining() < RECORD {
+            return Err(TraceIoError::Truncated);
+        }
+        let pc = buf.get_u64_le();
+        let src1 = buf.get_u8();
+        let src2 = buf.get_u8();
+        let tag = buf.get_u8();
+        let aux = buf.get_u8();
+        let addr = buf.get_u64_le();
+        let kind = match tag {
+            TAG_OP => InstrKind::Op { latency: aux },
+            TAG_LOAD => InstrKind::Load { addr },
+            TAG_STORE => InstrKind::Store { addr },
+            TAG_BRANCH => InstrKind::Branch { mispredicted: aux != 0 },
+            other => return Err(TraceIoError::BadRecord(other)),
+        };
+        out.push(Instr { pc, kind, src1, src2 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::program::Program;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let original: Vec<Instr> =
+            Program::new(profiles::by_name("164.gzip").unwrap()).take(10_000).collect();
+        let mut bytes = Vec::new();
+        let n = write_trace(&mut bytes, original.iter().copied()).unwrap();
+        assert_eq!(n, 10_000);
+        let restored = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut bytes = Vec::new();
+        let one = Instr { pc: 4, kind: InstrKind::Op { latency: 1 }, src1: 0, src2: 0 };
+        write_trace(&mut bytes, [one]).unwrap();
+        bytes.pop();
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut bytes = Vec::new();
+        let one = Instr { pc: 4, kind: InstrKind::Op { latency: 1 }, src1: 0, src2: 0 };
+        write_trace(&mut bytes, [one]).unwrap();
+        bytes[6 + 10] = 9; // corrupt the kind tag of the first record
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadRecord(9)));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, std::iter::empty()).unwrap();
+        assert!(read_trace(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(TraceIoError::BadHeader.to_string().contains("JSNT"));
+        assert!(TraceIoError::BadRecord(7).to_string().contains('7'));
+    }
+}

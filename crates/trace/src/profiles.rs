@@ -1,0 +1,421 @@
+//! The 20 synthetic SPEC CPU2000-like application profiles.
+//!
+//! The paper simulates 10 integer and 10 floating-point SPEC2000
+//! applications (Section 4.1, Table 2). Each profile below is a synthetic
+//! stand-in tuned to reproduce the *qualitative* cache behaviour its
+//! namesake is known for in the literature:
+//!
+//! * `181.mcf`, `179.art` — huge pointer-chasing footprints, poor hit
+//!   rates at every level;
+//! * `171.swim`, `172.mgrid`, `189.lucas` — large strided array sweeps,
+//!   strong spatial locality, capacity-bound outer levels;
+//! * `176.gcc`, `253.perlbmk`, `301.apsi` — large instruction footprints
+//!   (the paper singles out `301.apsi`'s high level-2 I-cache miss ratio);
+//! * `164.gzip`, `186.crafty`, `177.mesa` — compact hot sets, high L1
+//!   hit rates.
+//!
+//! The exact numbers are *not* expected to match the paper's Table 2 — the
+//! substitution preserves the spread of per-level hit rates, which is what
+//! the MNM coverage and benefit results depend on.
+
+use crate::program::{AppCategory, AppProfile, RegionSpec};
+use crate::regions::RegionKind;
+
+use AppCategory::{FloatingPoint, Integer};
+use RegionKind::{Hot, PointerChase, Random};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn stride(bytes: u32) -> RegionKind {
+    RegionKind::Strided { stride: bytes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    name: &str,
+    category: AppCategory,
+    seed: u64,
+    mix: (f64, f64, f64, f64), // load, store, branch, fp
+    mispredict: f64,
+    code_kb: u64,
+    loops: (f64, f64, u32), // backedge prob, call prob, body length
+    dep_density: f64,
+    regions: Vec<RegionSpec>,
+) -> AppProfile {
+    AppProfile {
+        name: name.to_owned(),
+        category,
+        seed,
+        load_frac: mix.0,
+        store_frac: mix.1,
+        branch_frac: mix.2,
+        fp_frac: mix.3,
+        mispredict_rate: mispredict,
+        code_footprint: code_kb * KB,
+        loop_backedge_prob: loops.0,
+        call_prob: loops.1,
+        avg_loop_body: loops.2,
+        dep_density,
+        regions,
+        phase_drift: None,
+    }
+}
+
+fn region(kind: RegionKind, size: u64, weight: u32) -> RegionSpec {
+    RegionSpec { kind, size, weight }
+}
+
+/// All 20 application profiles (10 integer, then 10 floating point).
+pub fn all() -> Vec<AppProfile> {
+    vec![
+        // ---------------- CINT2000-like ----------------
+        profile(
+            "164.gzip",
+            Integer,
+            0x1640,
+            (0.26, 0.11, 0.16, 0.0),
+            0.06,
+            16,
+            (0.85, 0.04, 14),
+            0.55,
+            vec![
+                region(Hot, 2 * KB, 30),
+                region(stride(8), 256 * KB, 5),
+                region(Random, 64 * KB, 2),
+            ],
+        ),
+        profile(
+            "175.vpr",
+            Integer,
+            0x1750,
+            (0.30, 0.10, 0.14, 0.05),
+            0.08,
+            48,
+            (0.80, 0.06, 12),
+            0.55,
+            vec![
+                region(Hot, 3 * KB, 20),
+                region(PointerChase, 512 * KB, 4),
+                region(stride(16), 128 * KB, 2),
+            ],
+        ),
+        profile(
+            "176.gcc",
+            Integer,
+            0x1760,
+            (0.28, 0.14, 0.17, 0.0),
+            0.09,
+            384,
+            (0.62, 0.28, 10),
+            0.50,
+            vec![
+                region(Hot, 4 * KB, 18),
+                region(Random, 1 * MB, 3),
+                region(stride(8), 512 * KB, 2),
+            ],
+        ),
+        profile(
+            "181.mcf",
+            Integer,
+            0x1810,
+            (0.34, 0.09, 0.16, 0.0),
+            0.09,
+            8,
+            (0.85, 0.03, 16),
+            0.65,
+            vec![
+                region(Hot, 2 * KB, 12),
+                region(PointerChase, 12 * MB, 8),
+                region(stride(8), 1 * MB, 1),
+            ],
+        ),
+        profile(
+            "186.crafty",
+            Integer,
+            0x1860,
+            (0.27, 0.08, 0.15, 0.0),
+            0.07,
+            96,
+            (0.72, 0.16, 11),
+            0.50,
+            vec![region(Hot, 4 * KB, 20), region(Random, 512 * KB, 4)],
+        ),
+        profile(
+            "197.parser",
+            Integer,
+            0x1970,
+            (0.29, 0.12, 0.16, 0.0),
+            0.08,
+            80,
+            (0.78, 0.10, 12),
+            0.55,
+            vec![
+                region(Hot, 2 * KB, 16),
+                region(PointerChase, 1 * MB, 4),
+                region(Random, 256 * KB, 2),
+            ],
+        ),
+        profile(
+            "253.perlbmk",
+            Integer,
+            0x2530,
+            (0.28, 0.13, 0.17, 0.0),
+            0.08,
+            320,
+            (0.60, 0.30, 9),
+            0.50,
+            vec![
+                region(Hot, 4 * KB, 18),
+                region(Random, 512 * KB, 3),
+                region(PointerChase, 256 * KB, 2),
+            ],
+        ),
+        profile(
+            "255.vortex",
+            Integer,
+            0x2550,
+            (0.30, 0.13, 0.15, 0.0),
+            0.06,
+            192,
+            (0.68, 0.22, 12),
+            0.50,
+            vec![region(Hot, 4 * KB, 16), region(Random, 2 * MB, 4)],
+        ),
+        profile(
+            "256.bzip2",
+            Integer,
+            0x2560,
+            (0.28, 0.12, 0.14, 0.0),
+            0.07,
+            16,
+            (0.85, 0.04, 15),
+            0.55,
+            vec![
+                region(Hot, 2 * KB, 14),
+                region(stride(8), 4 * MB, 6),
+                region(Random, 384 * KB, 2),
+            ],
+        ),
+        profile(
+            "300.twolf",
+            Integer,
+            0x3000,
+            (0.29, 0.09, 0.15, 0.03),
+            0.08,
+            64,
+            (0.80, 0.08, 12),
+            0.55,
+            vec![
+                region(Hot, 2 * KB, 14),
+                region(PointerChase, 384 * KB, 6),
+                region(Random, 96 * KB, 2),
+            ],
+        ),
+        // ---------------- CFP2000-like ----------------
+        profile(
+            "168.wupwise",
+            FloatingPoint,
+            0x1680,
+            (0.28, 0.10, 0.07, 0.55),
+            0.03,
+            24,
+            (0.88, 0.04, 20),
+            0.45,
+            vec![region(Hot, 2 * KB, 10), region(stride(8), 2 * MB, 8)],
+        ),
+        profile(
+            "171.swim",
+            FloatingPoint,
+            0x1710,
+            (0.31, 0.12, 0.04, 0.60),
+            0.02,
+            8,
+            (0.93, 0.02, 24),
+            0.40,
+            vec![
+                region(stride(8), 8 * MB, 8),
+                region(stride(8), 4 * MB, 3),
+                region(Hot, 1 * KB, 4),
+            ],
+        ),
+        profile(
+            "172.mgrid",
+            FloatingPoint,
+            0x1720,
+            (0.33, 0.09, 0.03, 0.62),
+            0.02,
+            8,
+            (0.93, 0.02, 26),
+            0.40,
+            vec![
+                region(stride(8), 4 * MB, 7),
+                region(stride(512), 4 * MB, 2),
+                region(Hot, 1 * KB, 3),
+            ],
+        ),
+        profile(
+            "173.applu",
+            FloatingPoint,
+            0x1730,
+            (0.30, 0.11, 0.05, 0.58),
+            0.03,
+            40,
+            (0.88, 0.04, 22),
+            0.45,
+            vec![
+                region(stride(8), 4 * MB, 7),
+                region(Random, 512 * KB, 1),
+                region(Hot, 2 * KB, 4),
+            ],
+        ),
+        profile(
+            "177.mesa",
+            FloatingPoint,
+            0x1770,
+            (0.27, 0.12, 0.10, 0.40),
+            0.05,
+            128,
+            (0.74, 0.18, 14),
+            0.50,
+            vec![
+                region(Hot, 4 * KB, 16),
+                region(stride(16), 1 * MB, 4),
+                region(Random, 128 * KB, 2),
+            ],
+        ),
+        profile(
+            "179.art",
+            FloatingPoint,
+            0x1790,
+            (0.33, 0.08, 0.08, 0.50),
+            0.04,
+            8,
+            (0.88, 0.02, 18),
+            0.50,
+            vec![
+                region(PointerChase, 6 * MB, 7),
+                region(stride(8), 512 * KB, 2),
+                region(Hot, 1 * KB, 4),
+            ],
+        ),
+        profile(
+            "183.equake",
+            FloatingPoint,
+            0x1830,
+            (0.31, 0.10, 0.08, 0.52),
+            0.04,
+            24,
+            (0.86, 0.05, 18),
+            0.50,
+            vec![
+                region(PointerChase, 2 * MB, 4),
+                region(stride(8), 2 * MB, 5),
+                region(Hot, 2 * KB, 5),
+            ],
+        ),
+        profile(
+            "188.ammp",
+            FloatingPoint,
+            0x1880,
+            (0.30, 0.10, 0.07, 0.55),
+            0.04,
+            48,
+            (0.85, 0.06, 18),
+            0.50,
+            vec![
+                region(PointerChase, 2 * MB, 5),
+                region(Random, 512 * KB, 1),
+                region(Hot, 2 * KB, 6),
+            ],
+        ),
+        profile(
+            "189.lucas",
+            FloatingPoint,
+            0x1890,
+            (0.30, 0.11, 0.03, 0.62),
+            0.02,
+            8,
+            (0.93, 0.02, 28),
+            0.40,
+            vec![region(stride(8), 16 * MB, 6), region(stride(512), 8 * MB, 1), region(Hot, 1 * KB, 4)],
+        ),
+        profile(
+            "301.apsi",
+            FloatingPoint,
+            0x3010,
+            (0.29, 0.11, 0.09, 0.50),
+            0.05,
+            512,
+            (0.52, 0.40, 10),
+            0.45,
+            vec![
+                region(stride(8), 1 * MB, 5),
+                region(Random, 256 * KB, 2),
+                region(Hot, 2 * KB, 8),
+            ],
+        ),
+    ]
+}
+
+/// Look a profile up by its SPEC-style name (e.g. `"181.mcf"`).
+pub fn by_name(name: &str) -> Option<AppProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Names of all 20 applications in suite order.
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_profiles_ten_per_suite() {
+        let apps = all();
+        assert_eq!(apps.len(), 20);
+        assert_eq!(apps.iter().filter(|p| p.category == Integer).count(), 10);
+        assert_eq!(apps.iter().filter(|p| p.category == FloatingPoint).count(), 10);
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for p in all() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_seeds_differ() {
+        let apps = all();
+        let names: std::collections::HashSet<_> = apps.iter().map(|p| &p.name).collect();
+        assert_eq!(names.len(), 20);
+        let seeds: std::collections::HashSet<_> = apps.iter().map(|p| p.seed).collect();
+        assert_eq!(seeds.len(), 20);
+    }
+
+    #[test]
+    fn by_name_finds_paper_applications() {
+        assert!(by_name("301.apsi").is_some());
+        assert!(by_name("300.twolf").is_some());
+        assert!(by_name("999.nope").is_none());
+    }
+
+    #[test]
+    fn footprints_span_a_wide_range() {
+        let apps = all();
+        let min = apps.iter().map(|p| p.data_footprint()).min().unwrap();
+        let max = apps.iter().map(|p| p.data_footprint()).max().unwrap();
+        assert!(min < 1 * MB, "smallest footprint should fit mid-level caches");
+        assert!(max > 8 * MB, "largest footprint must exceed the 2MB L5");
+    }
+
+    #[test]
+    fn apsi_has_the_largest_code_footprint() {
+        let apps = all();
+        let apsi = apps.iter().find(|p| p.name == "301.apsi").unwrap();
+        assert!(apps.iter().all(|p| p.code_footprint <= apsi.code_footprint));
+    }
+}

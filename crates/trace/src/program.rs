@@ -1,0 +1,460 @@
+//! The synthetic program generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Instr, InstrKind};
+use crate::regions::{Region, RegionKind};
+
+/// Base address where synthetic code is laid out.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Base address where the first data region is laid out.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Guard gap between consecutive data regions.
+const REGION_GAP: u64 = 64 * 1024;
+
+/// Optional phase behaviour: every `period` instructions, all non-hot data
+/// regions are re-based `drift_bytes` further up the address space,
+/// modelling allocation-driven phase changes (each program phase works on
+/// freshly allocated data). Stationary profiles leave this unset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseDrift {
+    /// Instructions per phase.
+    pub period: u64,
+    /// Bytes the region bases move at each phase boundary.
+    pub drift_bytes: u64,
+}
+
+/// SPEC CPU2000 suite half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// CINT2000-like.
+    Integer,
+    /// CFP2000-like.
+    FloatingPoint,
+}
+
+/// A weighted data region in a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Locality model.
+    pub kind: RegionKind,
+    /// Region size in bytes.
+    pub size: u64,
+    /// Relative probability of a memory reference landing here.
+    pub weight: u32,
+}
+
+/// Everything that defines one synthetic application.
+///
+/// See the crate docs for how profiles substitute for SPEC2000 binaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Display name ("181.mcf", ...).
+    pub name: String,
+    /// Suite half.
+    pub category: AppCategory,
+    /// RNG seed; everything is deterministic given the profile.
+    pub seed: u64,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Of the remaining computational instructions, the fraction executed
+    /// on (longer-latency) floating-point units.
+    pub fp_frac: f64,
+    /// Branch misprediction rate of the modelled predictor.
+    pub mispredict_rate: f64,
+    /// Bytes of hot code; drives the I-side footprint.
+    pub code_footprint: u64,
+    /// At a branch: probability of a short backward jump (loop iteration).
+    pub loop_backedge_prob: f64,
+    /// At a branch: probability of a jump to a random function in the
+    /// footprint (call/return behaviour). The rest fall through.
+    pub call_prob: f64,
+    /// Mean loop-body length in instructions (backward-jump distance).
+    pub avg_loop_body: u32,
+    /// Probability that an instruction depends on a recent producer.
+    pub dep_density: f64,
+    /// Weighted data regions.
+    pub regions: Vec<RegionSpec>,
+    /// Optional allocation-driven phase drift.
+    pub phase_drift: Option<PhaseDrift>,
+}
+
+impl AppProfile {
+    /// Check mix fractions and region specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (fractions outside
+    /// \[0,1\], mix summing above 1, no regions, or zero weights).
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("fp_frac", self.fp_frac),
+            ("mispredict_rate", self.mispredict_rate),
+            ("loop_backedge_prob", self.loop_backedge_prob),
+            ("call_prob", self.call_prob),
+            ("dep_density", self.dep_density),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {name} = {v} outside [0, 1]", self.name));
+            }
+        }
+        if self.load_frac + self.store_frac + self.branch_frac > 1.0 {
+            return Err(format!("{}: instruction mix sums above 1", self.name));
+        }
+        if self.loop_backedge_prob + self.call_prob > 1.0 {
+            return Err(format!("{}: branch behaviour sums above 1", self.name));
+        }
+        if self.regions.is_empty() {
+            return Err(format!("{}: needs at least one data region", self.name));
+        }
+        if self.regions.iter().any(|r| r.weight == 0 || r.size < 8) {
+            return Err(format!("{}: regions need positive weight and size >= 8", self.name));
+        }
+        if self.code_footprint < 64 {
+            return Err(format!("{}: code footprint below 64 bytes", self.name));
+        }
+        if let Some(d) = self.phase_drift {
+            if d.period == 0 {
+                return Err(format!("{}: phase period must be positive", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes of data touched across all regions.
+    pub fn data_footprint(&self) -> u64 {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+}
+
+/// An infinite, deterministic instruction stream following an
+/// [`AppProfile`]. Implements [`Iterator`]; take as many instructions as
+/// the experiment needs.
+#[derive(Debug, Clone)]
+pub struct Program {
+    profile: AppProfile,
+    rng: SmallRng,
+    regions: Vec<Region>,
+    cumulative_weights: Vec<u32>,
+    total_weight: u32,
+    pc: u64,
+    emitted: u64,
+}
+
+impl Program {
+    /// Instantiate the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`AppProfile::validate`].
+    pub fn new(profile: AppProfile) -> Self {
+        profile.validate().expect("invalid application profile");
+        let rng = SmallRng::seed_from_u64(profile.seed);
+        let mut base = DATA_BASE;
+        let mut regions = Vec::with_capacity(profile.regions.len());
+        let mut cumulative_weights = Vec::with_capacity(profile.regions.len());
+        let mut total = 0;
+        for spec in &profile.regions {
+            regions.push(Region::new(base, spec.size, spec.kind));
+            base += spec.size + REGION_GAP;
+            total += spec.weight;
+            cumulative_weights.push(total);
+        }
+        Program {
+            pc: CODE_BASE,
+            rng,
+            regions,
+            cumulative_weights,
+            total_weight: total,
+            profile,
+            emitted: 0,
+        }
+    }
+
+    /// The profile driving this program.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Dynamic instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn pick_region(&mut self) -> usize {
+        let draw = self.rng.gen_range(0..self.total_weight);
+        self.cumulative_weights.partition_point(|&c| c <= draw)
+    }
+
+    fn deps(&mut self) -> (u8, u8) {
+        let draw = |p: f64, rng: &mut SmallRng| -> u8 {
+            if rng.gen_bool(p) {
+                // Geometric-ish short distances: most values are small.
+                let r: f64 = rng.gen();
+                (1.0 + (-r.ln()) * 2.5).min(15.0) as u8
+            } else {
+                0
+            }
+        };
+        let s1 = draw(self.profile.dep_density, &mut self.rng);
+        let s2 = draw(self.profile.dep_density * 0.5, &mut self.rng);
+        (s1, s2)
+    }
+
+    /// Phase boundary: move every non-hot region to fresh addresses.
+    /// Bases stay within the low 2^31 bytes so block addresses remain in
+    /// the 32-bit space the CMNM examines.
+    fn enter_next_phase(&mut self, drift_bytes: u64) {
+        for (region, spec) in self.regions.iter_mut().zip(&self.profile.regions) {
+            if spec.kind == RegionKind::Hot {
+                continue;
+            }
+            let new_base = (region.base() + region.size() + drift_bytes) % (1 << 31);
+            region.rebase(new_base.max(DATA_BASE));
+        }
+    }
+
+    fn next_pc_after_branch(&mut self) -> u64 {
+        let footprint = self.profile.code_footprint;
+        let r: f64 = self.rng.gen();
+        if r < self.profile.loop_backedge_prob {
+            // Loop back ~one body length (jittered).
+            let body = self.profile.avg_loop_body.max(2);
+            let dist = self.rng.gen_range(body / 2..=body + body / 2).max(1) as u64 * 4;
+            self.pc.saturating_sub(dist).max(CODE_BASE)
+        } else if r < self.profile.loop_backedge_prob + self.profile.call_prob {
+            // Jump to a random 64-byte-aligned function entry.
+            CODE_BASE + (self.rng.gen_range(0..footprint) & !63)
+        } else {
+            // Fall through.
+            self.pc
+        }
+    }
+
+    fn step(&mut self) -> Instr {
+        if let Some(drift) = self.profile.phase_drift {
+            if self.emitted > 0 && self.emitted % drift.period == 0 {
+                self.enter_next_phase(drift.drift_bytes);
+            }
+        }
+        let pc = self.pc;
+        self.pc += 4;
+        if self.pc >= CODE_BASE + self.profile.code_footprint {
+            self.pc = CODE_BASE;
+        }
+
+        let draw: f64 = self.rng.gen();
+        let (load_f, store_f, branch_f, fp_f, mispredict) = (
+            self.profile.load_frac,
+            self.profile.store_frac,
+            self.profile.branch_frac,
+            self.profile.fp_frac,
+            self.profile.mispredict_rate,
+        );
+        let (src1, src2) = self.deps();
+        let kind = if draw < load_f {
+            let region = self.pick_region();
+            InstrKind::Load { addr: self.regions[region].next_addr(&mut self.rng) }
+        } else if draw < load_f + store_f {
+            let region = self.pick_region();
+            InstrKind::Store { addr: self.regions[region].next_addr(&mut self.rng) }
+        } else if draw < load_f + store_f + branch_f {
+            let mispredicted = self.rng.gen_bool(mispredict);
+            self.pc = self.next_pc_after_branch();
+            InstrKind::Branch { mispredicted }
+        } else {
+            let fp = self.rng.gen_bool(fp_f);
+            let long = self.rng.gen_bool(0.1);
+            let latency = match (fp, long) {
+                (false, false) => 1,
+                (false, true) => 3,  // integer multiply
+                (true, false) => 4,  // FP add/mul pipeline
+                (true, true) => 12,  // FP divide
+            };
+            InstrKind::Op { latency }
+        };
+
+        self.emitted += 1;
+        Instr { pc, kind, src1, src2 }
+    }
+}
+
+impl Iterator for Program {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_profile() -> AppProfile {
+        AppProfile {
+            name: "test.app".into(),
+            category: AppCategory::Integer,
+            seed: 42,
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.15,
+            fp_frac: 0.0,
+            mispredict_rate: 0.05,
+            code_footprint: 16 * 1024,
+            loop_backedge_prob: 0.6,
+            call_prob: 0.1,
+            avg_loop_body: 12,
+            dep_density: 0.5,
+            regions: vec![
+                RegionSpec { kind: RegionKind::Hot, size: 2048, weight: 6 },
+                RegionSpec { kind: RegionKind::Strided { stride: 8 }, size: 256 * 1024, weight: 3 },
+                RegionSpec { kind: RegionKind::Random, size: 64 * 1024, weight: 1 },
+            ],
+            phase_drift: None,
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a: Vec<_> = Program::new(test_profile()).take(5000).collect();
+        let b: Vec<_> = Program::new(test_profile()).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p2 = test_profile();
+        p2.seed = 43;
+        let a: Vec<_> = Program::new(test_profile()).take(1000).collect();
+        let b: Vec<_> = Program::new(p2).take(1000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_matches_fractions() {
+        let instrs: Vec<_> = Program::new(test_profile()).take(100_000).collect();
+        let n = instrs.len() as f64;
+        let loads = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Load { .. })).count() as f64;
+        let stores = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Store { .. })).count() as f64;
+        let branches = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Branch { .. })).count() as f64;
+        assert!((loads / n - 0.3).abs() < 0.02, "load fraction {}", loads / n);
+        assert!((stores / n - 0.1).abs() < 0.02);
+        assert!((branches / n - 0.15).abs() < 0.02);
+    }
+
+    #[test]
+    fn pcs_stay_in_code_footprint() {
+        let p = test_profile();
+        let hi = CODE_BASE + p.code_footprint;
+        for i in Program::new(p).take(50_000) {
+            assert!((CODE_BASE..hi).contains(&i.pc), "pc {:#x} out of footprint", i.pc);
+        }
+    }
+
+    #[test]
+    fn data_addrs_fall_in_declared_regions() {
+        let p = test_profile();
+        let total: u64 = p.data_footprint() + 3 * REGION_GAP;
+        for i in Program::new(p).take(50_000) {
+            if let Some(a) = i.data_addr() {
+                assert!(
+                    (DATA_BASE..DATA_BASE + total).contains(&a),
+                    "data address {a:#x} outside region arena"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn code_locality_repeats_blocks() {
+        // Loops mean the same 32-byte fetch blocks recur heavily.
+        let blocks: Vec<u64> = Program::new(test_profile())
+            .take(20_000)
+            .map(|i| i.pc >> 5)
+            .collect();
+        let distinct: std::collections::HashSet<_> = blocks.iter().collect();
+        assert!(distinct.len() < blocks.len() / 10, "{} distinct blocks", distinct.len());
+    }
+
+    #[test]
+    fn validate_catches_bad_mix() {
+        let mut p = test_profile();
+        p.load_frac = 0.8;
+        p.store_frac = 0.3;
+        assert!(p.validate().is_err());
+        let mut p = test_profile();
+        p.regions.clear();
+        assert!(p.validate().is_err());
+        let mut p = test_profile();
+        p.mispredict_rate = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn phase_drift_moves_data_footprint() {
+        use crate::program::PhaseDrift;
+        let mut p = test_profile();
+        p.phase_drift = Some(PhaseDrift { period: 5_000, drift_bytes: 1 << 22 });
+        let blocks = |profile: AppProfile, n: usize| -> std::collections::HashSet<u64> {
+            Program::new(profile)
+                .take(n)
+                .filter_map(|i| i.data_addr())
+                .map(|a| a >> 5)
+                .collect()
+        };
+        let stationary = blocks(test_profile(), 40_000);
+        let drifting = blocks(p, 40_000);
+        assert!(
+            drifting.len() > stationary.len(),
+            "drift must touch more distinct blocks: {} vs {}",
+            drifting.len(),
+            stationary.len()
+        );
+        // And it must actually leave the stationary arena: the stationary
+        // profile never exceeds its region span, the drifting one does.
+        let stationary_max = stationary.iter().max().copied().unwrap_or(0);
+        let drifting_max = drifting.iter().max().copied().unwrap_or(0);
+        assert!(
+            drifting_max > stationary_max + (1 << 15),
+            "drifting max block {drifting_max:#x} vs stationary {stationary_max:#x}"
+        );
+    }
+
+    #[test]
+    fn phase_drift_is_deterministic() {
+        use crate::program::PhaseDrift;
+        let mut p = test_profile();
+        p.phase_drift = Some(PhaseDrift { period: 1_000, drift_bytes: 1 << 20 });
+        let a: Vec<_> = Program::new(p.clone()).take(10_000).collect();
+        let b: Vec<_> = Program::new(p).take(10_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_phase_period_rejected() {
+        use crate::program::PhaseDrift;
+        let mut p = test_profile();
+        p.phase_drift = Some(PhaseDrift { period: 0, drift_bytes: 4096 });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn emitted_counts_instructions() {
+        let mut prog = Program::new(test_profile());
+        for _ in 0..123 {
+            prog.next();
+        }
+        assert_eq!(prog.emitted(), 123);
+    }
+}

@@ -1,0 +1,75 @@
+//! Trace record types.
+
+use serde::{Deserialize, Serialize};
+
+/// The dynamic behaviour of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// A computational instruction with the given execute latency in
+    /// cycles (1 = simple ALU, 3 = multiply, 12 = FP divide, ...).
+    Op {
+        /// Functional-unit latency in cycles.
+        latency: u8,
+    },
+    /// A data-cache read from `addr`.
+    Load {
+        /// Effective byte address.
+        addr: u64,
+    },
+    /// A data-cache write to `addr` (write-allocate).
+    Store {
+        /// Effective byte address.
+        addr: u64,
+    },
+    /// A control transfer. `mispredicted` records whether the modelled
+    /// branch predictor got it wrong (the redirect penalty is charged by
+    /// the timing model).
+    Branch {
+        /// Whether the modelled predictor mispredicted this instance.
+        mispredicted: bool,
+    },
+}
+
+/// One dynamic instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Instruction address (drives the I-side cache path).
+    pub pc: u64,
+    /// Dynamic behaviour.
+    pub kind: InstrKind,
+    /// Distance (in dynamic instructions) to the producer of the first
+    /// source operand; 0 = no register dependence.
+    pub src1: u8,
+    /// Distance to the producer of the second source operand; 0 = none.
+    pub src2: u8,
+}
+
+impl Instr {
+    /// The data address touched, if this is a memory instruction.
+    pub fn data_addr(&self) -> Option<u64> {
+        match self.kind {
+            InstrKind::Load { addr } | InstrKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction reads or writes the data cache.
+    pub fn is_memory(&self) -> bool {
+        self.data_addr().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_addr_only_for_memory_ops() {
+        let ld = Instr { pc: 0, kind: InstrKind::Load { addr: 0x10 }, src1: 0, src2: 0 };
+        let op = Instr { pc: 0, kind: InstrKind::Op { latency: 1 }, src1: 1, src2: 2 };
+        assert_eq!(ld.data_addr(), Some(0x10));
+        assert!(ld.is_memory());
+        assert_eq!(op.data_addr(), None);
+        assert!(!op.is_memory());
+    }
+}

@@ -1,0 +1,232 @@
+//! Trace characterization: footprints, reuse distances, and mix
+//! measurement.
+//!
+//! These metrics are what cache behaviour is made of; the experiment
+//! harness uses them to document the synthetic suite (and the tests use
+//! them to pin the locality contrasts the profiles promise).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Instr, InstrKind};
+
+/// Summary statistics of a trace window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Instructions examined.
+    pub instructions: u64,
+    /// Loads seen.
+    pub loads: u64,
+    /// Stores seen.
+    pub stores: u64,
+    /// Branches seen.
+    pub branches: u64,
+    /// Mispredicted branches seen.
+    pub mispredicts: u64,
+    /// Distinct 32-byte data blocks touched.
+    pub data_blocks: u64,
+    /// Distinct 32-byte code blocks touched.
+    pub code_blocks: u64,
+    /// Histogram of data-block reuse distances (distinct blocks between
+    /// consecutive uses of the same block), bucketed by powers of two:
+    /// `reuse_histogram[i]` counts reuses with distance in
+    /// `[2^i, 2^(i+1))`; index 0 also holds distance 0.
+    pub reuse_histogram: Vec<u64>,
+    /// References to never-before-seen data blocks (cold references).
+    pub cold_references: u64,
+}
+
+impl TraceStats {
+    /// Data footprint in bytes (32-byte blocks).
+    pub fn data_footprint_bytes(&self) -> u64 {
+        self.data_blocks * 32
+    }
+
+    /// Code footprint in bytes (32-byte blocks).
+    pub fn code_footprint_bytes(&self) -> u64 {
+        self.code_blocks * 32
+    }
+
+    /// Fraction of data references whose reuse distance fits `blocks`
+    /// distinct blocks — an idealized (fully-associative LRU) hit rate for
+    /// a cache of that many lines.
+    pub fn ideal_hit_rate(&self, blocks: u64) -> f64 {
+        let total: u64 = self.reuse_histogram.iter().sum::<u64>() + self.cold_references;
+        if total == 0 {
+            return 0.0;
+        }
+        let cutoff = 64 - blocks.max(1).leading_zeros() as usize; // log2 ceil-ish
+        let hits: u64 = self
+            .reuse_histogram
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < cutoff)
+            .map(|(_, c)| c)
+            .sum();
+        hits as f64 / total as f64
+    }
+}
+
+/// An exact (hash-map + epoch counting) reuse-distance profiler.
+///
+/// Uses the classic two-level scheme: per-block last-use timestamps plus a
+/// sorted list compaction every epoch. For the trace sizes this crate
+/// handles (a few million instructions) an `O(n log n)` approach via a
+/// balanced sequence of timestamps is sufficient; we use a simple
+/// timestamp-ordered vector with binary search on compaction.
+#[derive(Debug, Default)]
+struct ReuseProfiler {
+    last_use: HashMap<u64, u64>,
+    /// Sorted list of live timestamps (one per distinct block).
+    timestamps: Vec<u64>,
+    clock: u64,
+}
+
+impl ReuseProfiler {
+    /// Record a use of `block`; returns `None` for a cold reference or the
+    /// number of *distinct* blocks touched since the previous use.
+    fn touch(&mut self, block: u64) -> Option<u64> {
+        self.clock += 1;
+        let now = self.clock;
+        match self.last_use.insert(block, now) {
+            None => {
+                self.timestamps.push(now);
+                None
+            }
+            Some(prev) => {
+                // Distance = number of live timestamps greater than prev.
+                let idx = self.timestamps.partition_point(|&t| t <= prev);
+                let distance = (self.timestamps.len() - idx) as u64;
+                // Replace prev with now (remove + append keeps sortedness
+                // since now is maximal).
+                let pos = self.timestamps.partition_point(|&t| t < prev);
+                debug_assert_eq!(self.timestamps[pos], prev);
+                self.timestamps.remove(pos);
+                self.timestamps.push(now);
+                Some(distance)
+            }
+        }
+    }
+}
+
+/// Characterize a trace window.
+pub fn characterize<I: IntoIterator<Item = Instr>>(trace: I) -> TraceStats {
+    let mut stats = TraceStats {
+        instructions: 0,
+        loads: 0,
+        stores: 0,
+        branches: 0,
+        mispredicts: 0,
+        data_blocks: 0,
+        code_blocks: 0,
+        reuse_histogram: vec![0; 33],
+        cold_references: 0,
+    };
+    let mut profiler = ReuseProfiler::default();
+    let mut code_blocks: HashMap<u64, ()> = HashMap::new();
+
+    for instr in trace {
+        stats.instructions += 1;
+        code_blocks.insert(instr.pc >> 5, ());
+        match instr.kind {
+            InstrKind::Load { .. } => stats.loads += 1,
+            InstrKind::Store { .. } => stats.stores += 1,
+            InstrKind::Branch { mispredicted } => {
+                stats.branches += 1;
+                stats.mispredicts += u64::from(mispredicted);
+            }
+            InstrKind::Op { .. } => {}
+        }
+        if let Some(addr) = instr.data_addr() {
+            match profiler.touch(addr >> 5) {
+                None => stats.cold_references += 1,
+                Some(d) => {
+                    let bucket = if d == 0 { 0 } else { (64 - d.leading_zeros()) as usize };
+                    let bucket = bucket.min(stats.reuse_histogram.len() - 1);
+                    stats.reuse_histogram[bucket] += 1;
+                }
+            }
+        }
+    }
+    stats.data_blocks = profiler.last_use.len() as u64;
+    stats.code_blocks = code_blocks.len() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::program::Program;
+
+    fn load(addr: u64) -> Instr {
+        Instr { pc: 0x40_0000, kind: InstrKind::Load { addr }, src1: 0, src2: 0 }
+    }
+
+    #[test]
+    fn cold_and_reuse_are_separated() {
+        // Blocks: A B A  => A cold, B cold, A reused at distance 1.
+        let stats = characterize(vec![load(0), load(64), load(0)]);
+        assert_eq!(stats.cold_references, 2);
+        assert_eq!(stats.reuse_histogram.iter().sum::<u64>(), 1);
+        assert_eq!(stats.reuse_histogram[1], 1, "distance 1 lands in bucket [1,2)");
+        assert_eq!(stats.data_blocks, 2);
+    }
+
+    #[test]
+    fn same_block_back_to_back_is_distance_zero() {
+        let stats = characterize(vec![load(0), load(8)]); // same 32B block
+        assert_eq!(stats.cold_references, 1);
+        assert_eq!(stats.reuse_histogram[0], 1);
+    }
+
+    #[test]
+    fn reuse_distance_counts_distinct_blocks() {
+        // A B B B A: A's reuse distance is 1 (only B between), despite 3
+        // intervening references.
+        let stats = characterize(vec![load(0), load(64), load(64), load(64), load(0)]);
+        let nonzero: Vec<(usize, u64)> = stats
+            .reuse_histogram
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, c)| *c > 0)
+            .collect();
+        // B→B→B are distance-0 reuses (bucket 0), A's reuse is distance 1.
+        assert_eq!(nonzero, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn ideal_hit_rate_is_monotone_in_capacity() {
+        let profile = profiles::by_name("300.twolf").unwrap();
+        let stats = characterize(Program::new(profile).take(50_000));
+        let small = stats.ideal_hit_rate(128);
+        let large = stats.ideal_hit_rate(1 << 16);
+        assert!(large >= small);
+        assert!((0.0..=1.0).contains(&small));
+        assert!((0.0..=1.0).contains(&large));
+    }
+
+    #[test]
+    fn profiles_show_expected_locality_contrast() {
+        let stat = |name: &str| {
+            characterize(Program::new(profiles::by_name(name).unwrap()).take(60_000))
+        };
+        let gzip = stat("164.gzip");
+        let mcf = stat("181.mcf");
+        assert!(mcf.data_blocks > 3 * gzip.data_blocks, "mcf touches far more blocks");
+        // gzip's idealized hit rate at 128 lines (a 4KB L1) beats mcf's.
+        assert!(gzip.ideal_hit_rate(128) > mcf.ideal_hit_rate(128));
+    }
+
+    #[test]
+    fn mix_counting_matches_kinds() {
+        let profile = profiles::by_name("171.swim").unwrap();
+        let n = 30_000;
+        let stats = characterize(Program::new(profile).take(n));
+        assert_eq!(stats.instructions, n as u64);
+        assert!(stats.loads > 0 && stats.stores > 0);
+        assert!(stats.mispredicts <= stats.branches);
+    }
+}

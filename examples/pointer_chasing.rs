@@ -1,0 +1,58 @@
+//! The paper's motivating workload class: pointer chasing over a footprint
+//! far larger than every cache level (`181.mcf`-like). Every chase step
+//! walks the full 5-level hierarchy; an MNM lets the request skip straight
+//! to memory.
+//!
+//! Runs the full out-of-order core model three times — baseline, HMNM4,
+//! perfect oracle — and reports execution cycles (the paper's Figure 15
+//! protocol, one application).
+//!
+//! Run with: `cargo run --release --example pointer_chasing`
+
+use just_say_no::prelude::*;
+
+const INSTRUCTIONS: u64 = 300_000;
+
+fn run(label: &str, mut policy_for: impl FnMut(&Hierarchy) -> Policy) -> u64 {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let policy = policy_for(&hier);
+    let profile = profiles::by_name("181.mcf").expect("bundled profile");
+    let cpu = CpuConfig::paper_eight_way();
+    let stats = match policy {
+        Policy::Baseline => {
+            simulate(&cpu, &mut hier, MemPolicy::Baseline, Program::new(profile), INSTRUCTIONS)
+        }
+        Policy::Hmnm(mut mnm) => {
+            let s = simulate(&cpu, &mut hier, MemPolicy::Mnm(&mut mnm), Program::new(profile), INSTRUCTIONS);
+            println!("  [{label}] coverage: {:.1}%", mnm.stats().coverage() * 100.0);
+            s
+        }
+        Policy::Perfect => {
+            simulate(&cpu, &mut hier, MemPolicy::Perfect, Program::new(profile), INSTRUCTIONS)
+        }
+    };
+    println!(
+        "  [{label}] {} cycles, IPC {:.3}, mean load latency {:.1} cycles",
+        stats.cycles,
+        stats.ipc(),
+        stats.mean_load_latency()
+    );
+    stats.cycles
+}
+
+enum Policy {
+    Baseline,
+    Hmnm(Mnm),
+    Perfect,
+}
+
+fn main() {
+    println!("181.mcf-like pointer chase, {INSTRUCTIONS} instructions, 8-way OoO core\n");
+    let base = run("baseline", |_| Policy::Baseline);
+    let hmnm = run("HMNM4   ", |h| Policy::Hmnm(Mnm::new(h, MnmConfig::hmnm(4))));
+    let perfect = run("perfect ", |_| Policy::Perfect);
+
+    println!();
+    println!("HMNM4 cycle reduction:   {:.1}%", 100.0 * (base - hmnm) as f64 / base as f64);
+    println!("perfect cycle reduction: {:.1}% (upper bound)", 100.0 * (base - perfect) as f64 / base as f64);
+}

@@ -1,0 +1,213 @@
+//! `jsn` — command-line front end for the Just Say No reproduction.
+//!
+//! ```text
+//! jsn apps                                   list the 20 bundled profiles
+//! jsn run <app> [--config L] [-n N] [--cpu]  simulate one app
+//! jsn coverage <app> [labels...]             per-config coverage for one app
+//! jsn trace <app> -o FILE [-n N]             persist a binary trace
+//! jsn help                                   this text
+//! ```
+//!
+//! Configuration labels follow the paper's grammar (`TMNM_12x3`, `HMNM4`,
+//! `RMNM_512_2`, `CMNM_8_12`, `SMNM_13x2`, `BLOOM_13x4`) plus `Baseline`
+//! and `Perfect`.
+
+use std::process::ExitCode;
+
+use just_say_no::prelude::*;
+use trace_synth::{characterize, write_trace};
+
+const DEFAULT_INSTRUCTIONS: u64 = 500_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("apps") => cmd_apps(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("coverage") => cmd_coverage(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `jsn help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "jsn — Just Say No (HPCA 2003) reproduction CLI\n\
+         \n\
+         USAGE:\n  jsn apps\n  jsn run <app> [--config LABEL] [-n N] [--cpu]\n  \
+         jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n\
+         \n\
+         Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
+         RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>."
+    );
+}
+
+fn lookup_app(name: &str) -> Result<AppProfile, String> {
+    profiles::by_name(name).ok_or_else(|| {
+        format!("unknown application `{name}`; `jsn apps` lists the bundled profiles")
+    })
+}
+
+fn parse_n(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.replace('_', "").parse().ok())
+            .ok_or_else(|| format!("{flag} needs a numeric argument")),
+    }
+}
+
+fn parse_opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!(
+        "{:<14}{:>6}  {:>10}  {:>9}  {:>8}  {:>7}",
+        "app", "suite", "data", "code", "regions", "drift"
+    );
+    for p in profiles::all() {
+        let suite = match p.category {
+            trace_synth::AppCategory::Integer => "INT",
+            trace_synth::AppCategory::FloatingPoint => "FP",
+        };
+        println!(
+            "{:<14}{:>6}  {:>8}KB  {:>7}KB  {:>8}  {:>7}",
+            p.name,
+            suite,
+            p.data_footprint() / 1024,
+            p.code_footprint / 1024,
+            p.regions.len(),
+            if p.phase_drift.is_some() { "yes" } else { "no" },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("run needs an application name")?;
+    let profile = lookup_app(app)?;
+    let n = parse_n(args, "-n", DEFAULT_INSTRUCTIONS)?;
+    let label = parse_opt(args, "--config").unwrap_or("HMNM4");
+    let timed = args.iter().any(|a| a == "--cpu");
+
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut mnm = match label {
+        "Baseline" | "Perfect" => None,
+        other => Some(Mnm::new(
+            &hier,
+            MnmConfig::parse(other).map_err(|e| e.to_string())?,
+        )),
+    };
+
+    if timed {
+        let cpu = CpuConfig::paper_eight_way();
+        let policy = match (&mut mnm, label) {
+            (Some(m), _) => MemPolicy::Mnm(m),
+            (None, "Perfect") => MemPolicy::Perfect,
+            (None, _) => MemPolicy::Baseline,
+        };
+        let stats = simulate(&cpu, &mut hier, policy, Program::new(profile), n);
+        println!("app: {app}   config: {label}   instructions: {}", stats.instructions);
+        println!("cycles: {}   IPC: {:.3}", stats.cycles, stats.ipc());
+        println!(
+            "loads: {}   mean load latency: {:.1} cycles",
+            stats.loads,
+            stats.mean_load_latency()
+        );
+        println!("branches: {} ({} mispredicted)", stats.branches, stats.mispredicts);
+    } else {
+        for instr in Program::new(profile).take(n as usize) {
+            if let Some(addr) = instr.data_addr() {
+                let access = match instr.kind {
+                    InstrKind::Store { .. } => Access::store(addr),
+                    _ => Access::load(addr),
+                };
+                match (&mut mnm, label) {
+                    (Some(m), _) => {
+                        m.run_access(&mut hier, access);
+                    }
+                    (None, "Perfect") => {
+                        let bypass = perfect_bypass(&hier, access);
+                        hier.access(access, &bypass);
+                    }
+                    (None, _) => {
+                        hier.access(access, &BypassSet::none());
+                    }
+                }
+            }
+        }
+        println!("app: {app}   config: {label}   data accesses: {}", hier.stats().accesses);
+        println!("mean data access time: {:.2} cycles", hier.stats().mean_access_time());
+        println!(
+            "miss-time fraction: {:.1}%",
+            hier.stats().miss_time_fraction() * 100.0
+        );
+    }
+
+    if let Some(m) = &mnm {
+        println!(
+            "coverage: {:.1}%   MNM state: {} bits in {} components",
+            m.stats().coverage() * 100.0,
+            m.storage_bits(),
+            m.storage().len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_coverage(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("coverage needs an application name")?;
+    let profile = lookup_app(app)?;
+    let defaults = ["RMNM_4096_8", "SMNM_20x3", "TMNM_12x3", "CMNM_8_12", "HMNM4"];
+    let labels: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        defaults.to_vec()
+    };
+
+    println!("{:<14}{:>10}", "config", "coverage");
+    for label in labels {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut mnm =
+            Mnm::new(&hier, MnmConfig::parse(label).map_err(|e| e.to_string())?);
+        for instr in Program::new(profile.clone()).take(DEFAULT_INSTRUCTIONS as usize) {
+            if let Some(addr) = instr.data_addr() {
+                mnm.run_access(&mut hier, Access::load(addr));
+            }
+        }
+        println!("{:<14}{:>9.1}%", label, mnm.stats().coverage() * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("trace needs an application name")?;
+    let profile = lookup_app(app)?;
+    let n = parse_n(args, "-n", DEFAULT_INSTRUCTIONS)?;
+    let path = parse_opt(args, "-o").ok_or("trace needs `-o <file>`")?;
+
+    let instrs: Vec<Instr> = Program::new(profile.clone()).take(n as usize).collect();
+    let stats = characterize(instrs.iter().copied());
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let written = write_trace(std::io::BufWriter::new(file), instrs.into_iter())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {written} instructions of {app} to {path} ({} KB data / {} KB code footprint)",
+        stats.data_footprint_bytes() / 1024,
+        stats.code_footprint_bytes() / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Smoke tests of the `jsn` command-line tool.
+
+use std::process::Command;
+
+fn jsn(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_jsn")).args(args).output().expect("jsn runs")
+}
+
+#[test]
+fn apps_lists_all_twenty() {
+    let out = jsn(&["apps"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["164.gzip", "181.mcf", "301.apsi"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert_eq!(text.lines().count(), 21, "header + 20 apps");
+}
+
+#[test]
+fn run_reports_coverage() {
+    let out = jsn(&["run", "164.gzip", "--config", "TMNM_10x1", "-n", "30000"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coverage:"));
+    assert!(text.contains("mean data access time"));
+}
+
+#[test]
+fn run_cpu_mode_reports_cycles() {
+    let out = jsn(&["run", "171.swim", "--config", "Baseline", "-n", "20000", "--cpu"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles:"));
+    assert!(text.contains("IPC:"));
+}
+
+#[test]
+fn unknown_app_fails_cleanly() {
+    let out = jsn(&["run", "999.bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown application"));
+}
+
+#[test]
+fn bad_config_label_fails_cleanly() {
+    let out = jsn(&["run", "164.gzip", "--config", "XMNM_1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecognized"));
+}
+
+#[test]
+fn trace_round_trips_through_file() {
+    let path = std::env::temp_dir().join("jsn_cli_trace.jsnt");
+    let path_s = path.to_str().unwrap();
+    let out = jsn(&["trace", "256.bzip2", "-o", path_s, "-n", "10000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let restored =
+        trace_synth::read_trace(std::fs::File::open(&path).unwrap()).expect("readable trace");
+    assert_eq!(restored.len(), 10_000);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = jsn(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

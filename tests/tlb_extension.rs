@@ -1,0 +1,83 @@
+//! Property tests for the §4.5 TLB-filtering extension: the filter's
+//! verdicts stay sound against the real L2 TLB contents under arbitrary
+//! page streams, and filtering never changes where translations come from.
+
+use cache_sim::{TlbConfig, TlbEvent, TwoLevelTlb};
+use mnm_core::{MissFilter, TmnmConfig, TmnmFilter};
+use proptest::prelude::*;
+
+fn tiny_tlb() -> TwoLevelTlb {
+    TwoLevelTlb::new(
+        TlbConfig::new("t1", 8, 2, 4096, 1),
+        TlbConfig::new("t2", 32, 4, 4096, 3),
+        40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive random page streams with the filter active; verify every
+    /// bypass against the actual L2 TLB before issuing it (the TLB's
+    /// debug_assert double-checks).
+    #[test]
+    fn tlb_filter_never_flags_resident_translations(
+        pages in proptest::collection::vec(0u64..64, 1..500),
+    ) {
+        let mut tlb = tiny_tlb();
+        let mut filter = TmnmFilter::new(TmnmConfig::new(5, 1));
+        let mut events: Vec<TlbEvent> = Vec::new();
+        for &p in &pages {
+            let addr = p * 4096 + 12;
+            let bypass = filter.is_definite_miss(tlb.page_of(addr));
+            if bypass {
+                prop_assert!(
+                    !tlb.l2_contains(addr),
+                    "filter flagged resident page {p}"
+                );
+            }
+            events.clear();
+            tlb.translate(addr, bypass, &mut events);
+            for ev in &events {
+                match *ev {
+                    TlbEvent::L2Placed(page) => filter.on_place(page),
+                    TlbEvent::L2Replaced(page) => filter.on_replace(page),
+                }
+            }
+        }
+    }
+
+    /// Filtering is functionally invisible: the same stream produces the
+    /// same number of page walks and the same final L2 residency.
+    #[test]
+    fn tlb_filtering_never_changes_walk_count(
+        pages in proptest::collection::vec(0u64..64, 1..400),
+    ) {
+        let mut plain = tiny_tlb();
+        let mut filtered = tiny_tlb();
+        let mut filter = TmnmFilter::new(TmnmConfig::new(5, 1));
+        let mut ev = Vec::new();
+        for &p in &pages {
+            let addr = p * 4096;
+            ev.clear();
+            let a = plain.translate(addr, false, &mut ev);
+            let bypass = filter.is_definite_miss(filtered.page_of(addr));
+            ev.clear();
+            let b = filtered.translate(addr, bypass, &mut ev);
+            for e in &ev {
+                match *e {
+                    TlbEvent::L2Placed(page) => filter.on_place(page),
+                    TlbEvent::L2Replaced(page) => filter.on_replace(page),
+                }
+            }
+            prop_assert_eq!(a.supply_level, b.supply_level);
+            prop_assert!(b.latency <= a.latency);
+        }
+        let (_, _, walks_a) = plain.stats();
+        let (_, _, walks_b) = filtered.stats();
+        prop_assert_eq!(walks_a, walks_b);
+        for &p in &pages {
+            prop_assert_eq!(plain.l2_contains(p * 4096), filtered.l2_contains(p * 4096));
+        }
+    }
+}
