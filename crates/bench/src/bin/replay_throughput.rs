@@ -1,0 +1,148 @@
+//! Replay-throughput harness: drives synthetic access streams through the
+//! hierarchy under several filter configurations, measuring accesses/sec
+//! with `std::time::Instant` and heap allocations with the crate's
+//! counting allocator. Emits `BENCH_replay.json`.
+//!
+//! The harness is also the executable proof of the zero-allocation hot
+//! path: after warmup, the baseline, internal-scratch and MNM scenarios
+//! must perform **zero** heap allocations per access, and the process
+//! aborts if they do not.
+
+use std::time::Instant;
+
+use cache_sim::{Access, Hierarchy, HierarchyConfig, NoFilter, ReplaySession};
+use mnm_bench::{allocations, render_report, ScenarioResult, LEGACY_ALLOCS_PER_ACCESS};
+use mnm_core::{Mnm, MnmConfig, PerfectFilter};
+use trace_synth::{profiles, InstrKind, Program};
+
+#[global_allocator]
+static ALLOC: mnm_bench::CountingAlloc = mnm_bench::CountingAlloc;
+
+const WARMUP: usize = 50_000;
+const MEASURE: usize = 1_000_000;
+
+/// Materialize the reference stream of one profile (fetch-block fetches
+/// plus every load/store), so generation cost and its allocations stay
+/// outside the measured region.
+fn materialize(profile_name: &str, n: usize) -> Vec<Access> {
+    let profile = profiles::by_name(profile_name).expect("profile");
+    let mut out = Vec::with_capacity(n);
+    let mut cur_block = u64::MAX;
+    for instr in Program::new(profile) {
+        let block = instr.pc >> 5;
+        if block != cur_block {
+            cur_block = block;
+            out.push(Access::fetch(instr.pc));
+        }
+        match instr.kind {
+            InstrKind::Load { addr } => out.push(Access::load(addr)),
+            InstrKind::Store { addr } => out.push(Access::store(addr)),
+            InstrKind::Branch { mispredicted } => {
+                if mispredicted {
+                    cur_block = u64::MAX;
+                }
+            }
+            InstrKind::Op { .. } => {}
+        }
+        if out.len() >= n {
+            break;
+        }
+    }
+    out
+}
+
+struct Measured {
+    nanos: u64,
+    allocs: u64,
+}
+
+/// Time `f` over the measured slice, returning wall time and allocation
+/// count attributable to it.
+fn measure(mut f: impl FnMut(Access), stream: &[Access]) -> Measured {
+    for &a in &stream[..WARMUP] {
+        f(a);
+    }
+    let alloc_before = allocations();
+    let t0 = Instant::now();
+    for &a in &stream[WARMUP..] {
+        f(a);
+    }
+    let nanos = t0.elapsed().as_nanos() as u64;
+    Measured { nanos, allocs: allocations() - alloc_before }
+}
+
+fn scenario(
+    label: &str,
+    stream: &[Access],
+    expect_zero_alloc: bool,
+    f: impl FnMut(Access),
+) -> ScenarioResult {
+    let m = measure(f, stream);
+    let accesses = (stream.len() - WARMUP) as u64;
+    if expect_zero_alloc && m.allocs != 0 {
+        eprintln!("FATAL: scenario {label} allocated {} times in steady state", m.allocs);
+        std::process::exit(1);
+    }
+    let r = ScenarioResult {
+        label: label.to_owned(),
+        accesses,
+        nanos: m.nanos,
+        allocations: m.allocs,
+        allocations_avoided: accesses * LEGACY_ALLOCS_PER_ACCESS - m.allocs.min(accesses),
+    };
+    println!(
+        "{:<22} {:>12.0} accesses/s   {:>6} allocs   {:>9} avoided",
+        r.label,
+        r.accesses_per_sec(),
+        r.allocations,
+        r.allocations_avoided
+    );
+    r
+}
+
+fn main() {
+    let stream = materialize("164.gzip", WARMUP + MEASURE);
+    assert!(stream.len() == WARMUP + MEASURE, "trace too short");
+    let mut results = Vec::new();
+
+    // Baseline: explicit session, no filter.
+    {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut session = ReplaySession::new(&mut hier, NoFilter);
+        results.push(scenario("session_baseline", &stream, true, |a| {
+            session.step(a);
+        }));
+    }
+
+    // Internal-scratch convenience wrapper.
+    {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let bypass = cache_sim::BypassSet::none();
+        results.push(scenario("access_wrapper", &stream, true, |a| {
+            hier.access(a, &bypass);
+        }));
+    }
+
+    // Full MNM protocol (query + walk + event feedback + coverage).
+    {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(4));
+        results.push(scenario("session_hmnm4", &stream, true, |a| {
+            mnm.run_access(&mut hier, a);
+        }));
+    }
+
+    // Perfect oracle: dry_run_misses allocates its result vector, so this
+    // scenario documents the oracle's cost rather than asserting zero.
+    {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut session = ReplaySession::new(&mut hier, PerfectFilter);
+        results.push(scenario("session_perfect", &stream, false, |a| {
+            session.step(a);
+        }));
+    }
+
+    let report = render_report(&results);
+    std::fs::write("BENCH_replay.json", &report).expect("write BENCH_replay.json");
+    println!("\nwrote BENCH_replay.json");
+}

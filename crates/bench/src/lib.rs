@@ -1,12 +1,139 @@
 //! # mnm-bench
 //!
-//! Criterion benchmark crate. All content lives in `benches/`:
+//! Dependency-free throughput harness for the replay hot path.
 //!
-//! * `filters` — per-technique query/update micro-benchmarks;
-//! * `cache` — hierarchy walk throughput (hits, misses, bypassed walks);
-//! * `trace` — workload generation and OoO-model throughput;
-//! * `figures` — scaled-down end-to-end regeneration of every paper
-//!   artifact (Figures 2-3, Table 2, Figures 10-16) plus two ablations.
+//! The crate deliberately uses no external benchmark framework (the
+//! reference environment builds offline, so criterion is unavailable):
+//! timing comes from [`std::time::Instant`], and allocation accounting
+//! from [`CountingAlloc`], a `#[global_allocator]` wrapper around the
+//! system allocator that counts every heap allocation.
 //!
-//! Run with `cargo bench --workspace`. The full-size figure outputs come
-//! from the `mnm-experiments` binaries, not from these benches.
+//! Run the harness with:
+//!
+//! ```text
+//! cargo run --release -p mnm-bench --bin replay_throughput
+//! ```
+//!
+//! It replays synthetic workloads through the cache hierarchy under
+//! several filter configurations and writes `BENCH_replay.json` with
+//! accesses/second and allocations-avoided counters, verifying along the
+//! way that the steady-state hot path performs **zero** heap allocations
+//! per access.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap allocations observed by [`CountingAlloc`] since process start.
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator. Register it in a
+/// binary or test with:
+///
+/// ```text
+/// #[global_allocator]
+/// static ALLOC: mnm_bench::CountingAlloc = mnm_bench::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Allocations counted so far (monotone).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Measurements from one benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario label (`"baseline"`, `"hmnm4"`, ...).
+    pub label: String,
+    /// Accesses driven during the measured phase.
+    pub accesses: u64,
+    /// Wall-clock nanoseconds of the measured phase.
+    pub nanos: u64,
+    /// Heap allocations observed during the measured phase.
+    pub allocations: u64,
+    /// Per-access allocations the pre-refactor API would have performed
+    /// over the same phase (probe vector + event vector + path clone,
+    /// i.e. 3 per access), minus the allocations actually observed.
+    pub allocations_avoided: u64,
+}
+
+impl ScenarioResult {
+    /// Accesses per second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.accesses as f64 * 1e9 / self.nanos as f64
+        }
+    }
+
+    /// One JSON object, hand-formatted (the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"accesses\": {}, \"nanos\": {}, \
+             \"accesses_per_sec\": {:.1}, \"allocations\": {}, \
+             \"allocations_avoided\": {}}}",
+            self.label,
+            self.accesses,
+            self.nanos,
+            self.accesses_per_sec(),
+            self.allocations,
+            self.allocations_avoided
+        )
+    }
+}
+
+/// Number of heap allocations the pre-refactor per-access API performed:
+/// a probe `Vec`, an event `Vec`, and a clone of the structure path.
+pub const LEGACY_ALLOCS_PER_ACCESS: u64 = 3;
+
+/// Render a full `BENCH_replay.json` document from scenario results.
+pub fn render_report(results: &[ScenarioResult]) -> String {
+    let body: Vec<String> = results.iter().map(|r| format!("    {}", r.to_json())).collect();
+    format!(
+        "{{\n  \"benchmark\": \"replay_throughput\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let r = ScenarioResult {
+            label: "baseline".into(),
+            accesses: 1000,
+            nanos: 2_000_000,
+            allocations: 0,
+            allocations_avoided: 3000,
+        };
+        assert!((r.accesses_per_sec() - 500_000.0).abs() < 1.0);
+        let doc = render_report(&[r]);
+        assert!(doc.contains("\"accesses_per_sec\": 500000.0"));
+        assert!(doc.contains("\"allocations_avoided\": 3000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -1,0 +1,81 @@
+//! The acceptance test for the zero-allocation replay hot path: after a
+//! short warmup, driving accesses through every supported entry point
+//! (explicit scratch, internal scratch, full MNM protocol) performs no
+//! heap allocation at all.
+
+use cache_sim::{
+    Access, BypassSet, Hierarchy, HierarchyConfig, NoFilter, ReplayScratch, ReplaySession,
+};
+use mnm_bench::allocations;
+use mnm_core::{Mnm, MnmConfig};
+
+#[global_allocator]
+static ALLOC: mnm_bench::CountingAlloc = mnm_bench::CountingAlloc;
+
+/// Mixed re-referencing stream over a modest arena: hits, misses,
+/// evictions and stores all occur, with no per-access allocation.
+fn stream(i: u64) -> Access {
+    let addr = (i.wrapping_mul(0x9E37_79B9) >> 8) % 0x10000;
+    match i % 3 {
+        0 => Access::load(addr),
+        1 => Access::store(addr),
+        _ => Access::fetch(addr),
+    }
+}
+
+#[test]
+fn explicit_scratch_path_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut scratch = ReplayScratch::new();
+    let none = BypassSet::none();
+    for i in 0..2_000 {
+        hier.access_with_events(stream(i), &none, &mut scratch);
+    }
+    let before = allocations();
+    for i in 2_000..10_000 {
+        hier.access_with_events(stream(i), &none, &mut scratch);
+    }
+    assert_eq!(allocations() - before, 0, "steady-state access_with_events allocated");
+}
+
+#[test]
+fn internal_scratch_wrapper_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let none = BypassSet::none();
+    for i in 0..2_000 {
+        hier.access(stream(i), &none);
+    }
+    let before = allocations();
+    for i in 2_000..10_000 {
+        hier.access(stream(i), &none);
+    }
+    assert_eq!(allocations() - before, 0, "steady-state access() allocated");
+}
+
+#[test]
+fn replay_session_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut session = ReplaySession::new(&mut hier, NoFilter);
+    for i in 0..2_000 {
+        session.step(stream(i));
+    }
+    let before = allocations();
+    for i in 2_000..10_000 {
+        session.step(stream(i));
+    }
+    assert_eq!(allocations() - before, 0, "steady-state ReplaySession allocated");
+}
+
+#[test]
+fn mnm_protocol_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(4));
+    for i in 0..2_000 {
+        mnm.run_access(&mut hier, stream(i));
+    }
+    let before = allocations();
+    for i in 2_000..10_000 {
+        mnm.run_access(&mut hier, stream(i));
+    }
+    assert_eq!(allocations() - before, 0, "steady-state Mnm::run_access allocated");
+}

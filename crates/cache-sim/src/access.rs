@@ -1,11 +1,9 @@
 //! Access descriptors, bypass sets and per-access results.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hierarchy::StructureId;
 
 /// The kind of memory reference entering the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Instruction fetch; routed through the instruction-side path
     /// (L1-I, L2-I, then the unified levels).
@@ -24,7 +22,7 @@ impl AccessKind {
 }
 
 /// A single reference presented to the cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// Byte address of the reference.
     pub addr: u64,
@@ -123,7 +121,13 @@ pub struct ProbeRecord {
 }
 
 /// The result of driving one access through the hierarchy.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `Copy` and allocation-free: the per-probe trail lives in
+/// the caller's reusable [`ReplayScratch`](crate::ReplayScratch) (or the
+/// hierarchy's internal scratch for [`Hierarchy::access`]
+/// (crate::Hierarchy::access)), not in the result, so the replay hot path
+/// never allocates per access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
     /// 1-based level that supplied the data. Equal to
     /// [`Hierarchy::memory_level`](crate::Hierarchy::memory_level) when main
@@ -133,27 +137,20 @@ pub struct AccessResult {
     /// probed before the supplier, plus the supplier's hit time (paper
     /// Equation 1). Bypassed levels contribute zero.
     pub latency: u64,
-    /// The probe trail, ordered from L1 outward, ending at the supplier
-    /// (memory does not appear as a probe record).
-    pub probes: Vec<ProbeRecord>,
     /// Number of structures that were probed and missed.
     pub misses: u32,
     /// Number of structures skipped via the bypass set.
     pub bypassed: u32,
+    /// Number of structures beyond level 1 that were actually probed
+    /// (hit or miss, not bypassed). Together with `bypassed` this gives the
+    /// number of levels a distributed MNM is consulted at.
+    pub probed_beyond_l1: u32,
 }
 
 impl AccessResult {
     /// Whether the access hit in the first-level cache.
     pub fn l1_hit(&self) -> bool {
         self.supply_level == 1
-    }
-
-    /// Iterator over structures that were probed and missed.
-    pub fn missed_structures(&self) -> impl Iterator<Item = StructureId> + '_ {
-        self.probes
-            .iter()
-            .filter(|p| p.outcome == ProbeOutcome::Miss)
-            .map(|p| p.structure)
     }
 }
 

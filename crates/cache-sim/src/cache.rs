@@ -18,6 +18,18 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
+/// What a [`Cache::fill`] did, resolved in a single set scan (callers
+/// previously paired `contains` + `fill`, scanning the set twice per fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FillOutcome {
+    /// The block was already resident; its replacement stamp was refreshed
+    /// and nothing was evicted.
+    Already,
+    /// The block was installed, evicting the contained victim if the set
+    /// was full.
+    Filled(Option<Eviction>),
+}
+
 /// A set-associative cache holding block tags only (trace-driven simulation
 /// carries no data payloads).
 ///
@@ -34,6 +46,9 @@ pub struct Cache {
     dirty: Vec<bool>,
     set_mask: u64,
     block_shift: u32,
+    /// `set_mask.count_ones()`, cached so the per-access tag extraction
+    /// does no popcount.
+    tag_shift: u32,
     assoc: usize,
     clock: u64,
     rng_state: u64,
@@ -53,6 +68,7 @@ impl Cache {
         let assoc = config.assoc as usize;
         Cache {
             set_mask: config.num_sets() - 1,
+            tag_shift: (config.num_sets() - 1).count_ones(),
             block_shift: config.block_shift(),
             tags: vec![TAG_INVALID; sets * assoc],
             stamps: vec![0; sets * assoc],
@@ -84,7 +100,7 @@ impl Cache {
     }
 
     fn tag_of(&self, block: u64) -> u64 {
-        block >> self.set_mask.count_ones()
+        block >> self.tag_shift
     }
 
     /// Probe for `addr`. On a hit, refreshes the LRU stamp. Does **not**
@@ -117,33 +133,36 @@ impl Cache {
     }
 
     /// Install the block containing `addr`, evicting a victim if the set is
-    /// full. Returns the evicted block, if any.
+    /// full. Resident blocks, empty ways and victims are resolved in one
+    /// scan of the set.
     ///
     /// Filling a block that is already resident refreshes its stamp and
-    /// evicts nothing.
-    pub(crate) fn fill(&mut self, addr: u64) -> Option<Eviction> {
+    /// evicts nothing ([`FillOutcome::Already`]).
+    pub(crate) fn fill(&mut self, addr: u64) -> FillOutcome {
         let block = self.block_addr(addr);
         let set = self.set_of(block);
         let tag = self.tag_of(block);
         self.clock += 1;
         let base = set * self.assoc;
 
-        // Already resident: refresh only.
+        let mut empty_way = None;
         for way in 0..self.assoc {
-            if self.tags[base + way] == tag {
-                self.stamps[base + way] = self.clock;
-                return None;
+            match self.tags[base + way] {
+                t if t == tag => {
+                    // Already resident: refresh only.
+                    self.stamps[base + way] = self.clock;
+                    return FillOutcome::Already;
+                }
+                TAG_INVALID if empty_way.is_none() => empty_way = Some(way),
+                _ => {}
             }
         }
 
-        // Empty way?
-        for way in 0..self.assoc {
-            if self.tags[base + way] == TAG_INVALID {
-                self.tags[base + way] = tag;
-                self.stamps[base + way] = self.clock;
-                self.dirty[base + way] = false;
-                return None;
-            }
+        if let Some(way) = empty_way {
+            self.tags[base + way] = tag;
+            self.stamps[base + way] = self.clock;
+            self.dirty[base + way] = false;
+            return FillOutcome::Filled(None);
         }
 
         // Evict.
@@ -156,8 +175,11 @@ impl Cache {
         self.tags[base + victim_way] = tag;
         self.stamps[base + victim_way] = self.clock;
         self.dirty[base + victim_way] = false;
-        let victim_block = (victim_tag << self.set_mask.count_ones()) | set as u64;
-        Some(Eviction { block_base: victim_block << self.block_shift, dirty: victim_dirty })
+        let victim_block = (victim_tag << self.tag_shift) | set as u64;
+        FillOutcome::Filled(Some(Eviction {
+            block_base: victim_block << self.block_shift,
+            dirty: victim_dirty,
+        }))
     }
 
     /// Mark the block containing `addr` dirty, if resident. Returns whether
@@ -236,13 +258,12 @@ impl Cache {
 
     /// Iterate over the byte base addresses of all resident blocks.
     pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
-        let set_bits = self.set_mask.count_ones();
         self.tags.iter().enumerate().filter_map(move |(i, &tag)| {
             if tag == TAG_INVALID {
                 return None;
             }
             let set = (i / self.assoc) as u64;
-            Some(((tag << set_bits) | set) << self.block_shift)
+            Some(((tag << self.tag_shift) | set) << self.block_shift)
         })
     }
 }
@@ -254,8 +275,8 @@ mod tests {
 
     fn small_cache(assoc: u32, policy: ReplacementPolicy) -> Cache {
         // 4 sets x assoc ways x 32B blocks.
-        let cfg = CacheConfig::new("t", 4 * u64::from(assoc) * 32, assoc, 32, 1)
-            .with_replacement(policy);
+        let cfg =
+            CacheConfig::new("t", 4 * u64::from(assoc) * 32, assoc, 32, 1).with_replacement(policy);
         Cache::new(cfg)
     }
 
@@ -263,7 +284,7 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut c = small_cache(2, ReplacementPolicy::Lru);
         assert!(!c.lookup(0x1000).hit);
-        assert_eq!(c.fill(0x1000), None);
+        assert_eq!(c.fill(0x1000), FillOutcome::Filled(None));
         assert!(c.lookup(0x1000).hit);
         assert!(c.contains(0x1000));
         assert!(c.contains(0x101F)); // same 32B block
@@ -279,7 +300,9 @@ mod tests {
         c.fill(0x0080);
         // Touch 0x0000 so 0x0080 becomes LRU.
         assert!(c.lookup(0x0000).hit);
-        let victim = c.fill(0x0100);
+        let FillOutcome::Filled(victim) = c.fill(0x0100) else {
+            panic!("0x0100 was not resident");
+        };
         assert_eq!(victim.map(|v| v.block_base), Some(0x0080));
         assert!(c.contains(0x0000));
         assert!(!c.contains(0x0080));
@@ -292,7 +315,9 @@ mod tests {
         c.fill(0x0000);
         c.fill(0x0080);
         assert!(c.lookup(0x0000).hit); // does not refresh under FIFO
-        let victim = c.fill(0x0100);
+        let FillOutcome::Filled(victim) = c.fill(0x0100) else {
+            panic!("0x0100 was not resident");
+        };
         assert_eq!(victim.map(|v| v.block_base), Some(0x0000));
     }
 
@@ -301,7 +326,7 @@ mod tests {
         let mut c = small_cache(2, ReplacementPolicy::Lru);
         c.fill(0x0000);
         c.fill(0x0080);
-        assert_eq!(c.fill(0x0000), None);
+        assert_eq!(c.fill(0x0000), FillOutcome::Already);
         assert_eq!(c.occupancy(), 2);
     }
 
@@ -310,7 +335,9 @@ mod tests {
         let mut c = small_cache(1, ReplacementPolicy::Lru);
         // Direct-mapped, 4 sets: 0x40 and 0x240 share set 2.
         c.fill(0x40);
-        let victim = c.fill(0x240).expect("conflict eviction");
+        let FillOutcome::Filled(Some(victim)) = c.fill(0x240) else {
+            panic!("expected a conflict eviction");
+        };
         assert_eq!(victim.block_base, 0x40);
         assert!(!victim.dirty, "never-written blocks evict clean");
     }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::replacement::ReplacementPolicy;
 
 /// A violated configuration constraint.
@@ -62,7 +60,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// How writes interact with the next memory level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Dirty blocks are written back only on eviction (SimpleScalar's
     /// default and the assumption behind the paper's traffic).
@@ -72,7 +70,7 @@ pub enum WritePolicy {
 }
 
 /// Geometry and timing of a single cache structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Human-readable name ("dl1", "ul3", ...). Used in reports.
     pub name: String,
@@ -160,14 +158,20 @@ impl CacheConfig {
     /// `assoc * block_bytes`, or a non-power-of-two set count.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
-            return Err(ConfigError::BlockSize { cache: self.name.clone(), bytes: self.block_bytes });
+            return Err(ConfigError::BlockSize {
+                cache: self.name.clone(),
+                bytes: self.block_bytes,
+            });
         }
         if self.assoc == 0 {
             return Err(ConfigError::Associativity { cache: self.name.clone() });
         }
         let way_bytes = self.block_bytes * u64::from(self.assoc);
-        if self.size_bytes == 0 || self.size_bytes % way_bytes != 0 {
-            return Err(ConfigError::Capacity { cache: self.name.clone(), size_bytes: self.size_bytes });
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(way_bytes) {
+            return Err(ConfigError::Capacity {
+                cache: self.name.clone(),
+                size_bytes: self.size_bytes,
+            });
         }
         if !self.num_sets().is_power_of_two() {
             return Err(ConfigError::SetCount { cache: self.name.clone(), sets: self.num_sets() });
@@ -178,7 +182,7 @@ impl CacheConfig {
 
 /// One level of the hierarchy: either split instruction/data structures or a
 /// single unified structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LevelConfig {
     /// Separate instruction and data caches (the paper's L1 and L2).
     Split {
@@ -211,7 +215,7 @@ impl LevelConfig {
 }
 
 /// Full hierarchy configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchyConfig {
     /// Levels ordered from L1 outward.
     pub levels: Vec<LevelConfig>,

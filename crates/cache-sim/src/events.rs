@@ -59,7 +59,10 @@ mod tests {
             block_bytes: 128,
         };
         let subs: Vec<_> = ev.sub_blocks(32).collect();
-        assert_eq!(subs, vec![0x1000 >> 5, (0x1000 >> 5) + 1, (0x1000 >> 5) + 2, (0x1000 >> 5) + 3]);
+        assert_eq!(
+            subs,
+            vec![0x1000 >> 5, (0x1000 >> 5) + 1, (0x1000 >> 5) + 2, (0x1000 >> 5) + 3]
+        );
     }
 
     #[test]

@@ -1,17 +1,16 @@
 //! The multi-level cache hierarchy.
 
-use serde::{Deserialize, Serialize};
-
 use crate::access::{Access, AccessResult, BypassSet, ProbeOutcome, ProbeRecord};
-use crate::cache::Cache;
-use crate::config::{HierarchyConfig, LevelConfig};
+use crate::cache::{Cache, FillOutcome};
+use crate::config::{HierarchyConfig, LevelConfig, WritePolicy};
 use crate::events::{CacheEvent, EventKind};
+use crate::replay::ReplayScratch;
 use crate::stats::HierarchyStats;
 
 /// Opaque index identifying one cache structure in a hierarchy
 /// (e.g. in the paper's 5-level processor there are 7 structures:
 /// il1, dl1, il2, dl2, ul3, ul4, ul5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StructureId(usize);
 
 impl StructureId {
@@ -55,6 +54,10 @@ pub struct Hierarchy {
     instr_path: Vec<StructureId>,
     data_path: Vec<StructureId>,
     stats: HierarchyStats,
+    /// Reusable buffers backing the [`Hierarchy::access`] convenience
+    /// wrapper, so casual callers get the same allocation-free steady
+    /// state as [`Hierarchy::access_with_events`] users.
+    scratch: ReplayScratch,
 }
 
 impl Hierarchy {
@@ -116,7 +119,15 @@ impl Hierarchy {
         }
 
         let stats = HierarchyStats::new(caches.len(), config.levels.len());
-        Hierarchy { config, caches, infos, instr_path, data_path, stats }
+        Hierarchy {
+            config,
+            caches,
+            infos,
+            instr_path,
+            data_path,
+            stats,
+            scratch: ReplayScratch::new(),
+        }
     }
 
     /// The configuration this hierarchy was built from.
@@ -162,11 +173,19 @@ impl Hierarchy {
     /// The line size of the level-2 structures, the MNM's working
     /// granularity (paper §3.1). Falls back to the L1 line size in
     /// single-level hierarchies.
+    ///
+    /// On a split L2 the data-side structure defines the granularity: the
+    /// MNM filters the data reference stream (the dominant energy/latency
+    /// consumer in the paper's accounting), and structure order within a
+    /// level is an artifact of hierarchy construction, so picking whichever
+    /// structure `find` hits first would silently bind the MNM to the
+    /// instruction-side block size.
     pub fn mnm_granularity(&self) -> u64 {
         let level = if self.num_levels() >= 2 { 2 } else { 1 };
         self.infos
             .iter()
-            .find(|i| i.level == level)
+            .find(|i| i.level == level && !i.instr_only)
+            .or_else(|| self.infos.iter().find(|i| i.level == level))
             .map(|i| i.block_bytes)
             .expect("hierarchy has at least one level")
     }
@@ -218,27 +237,34 @@ impl Hierarchy {
     /// On a miss, the block is filled into every structure on the path
     /// closer to the core than the supplier (non-inclusive refill), each at
     /// its own line size; fills and the evictions they cause are reported
-    /// in [`AccessResult`]-ordered [`CacheEvent`]s through `events`.
+    /// through `scratch.events()`, and the probe trail through
+    /// `scratch.probes()`.
+    ///
+    /// The scratch buffer is cleared on entry and reused across calls:
+    /// in steady state this path performs **zero heap allocations** per
+    /// access (no path clone, no per-access probe or event vector).
     pub fn access_with_events(
         &mut self,
         access: Access,
         bypass: &BypassSet,
-        events: &mut Vec<CacheEvent>,
+        scratch: &mut ReplayScratch,
     ) -> AccessResult {
-        let path = if access.kind.is_instruction() {
-            &self.instr_path
-        } else {
-            &self.data_path
-        };
+        scratch.clear();
+        let is_instr = access.kind.is_instruction();
+        let path_len = if is_instr { self.instr_path.len() } else { self.data_path.len() };
 
-        let mut probes = Vec::with_capacity(path.len());
         let mut latency = 0u64;
         let mut miss_latency = 0u64;
         let mut misses = 0u32;
         let mut bypassed = 0u32;
+        let mut probed_beyond_l1 = 0u32;
         let mut supply_level = self.memory_level();
 
-        for &sid in path.iter() {
+        // The paths are never mutated during an access, so indexing them
+        // afresh each iteration (instead of cloning the path, as this
+        // function once did) borrows cleanly against the cache mutations.
+        for i in 0..path_len {
+            let sid = if is_instr { self.instr_path[i] } else { self.data_path[i] };
             let level = self.infos[sid.0].level;
             if level > 1 && bypass.contains(sid) {
                 debug_assert!(
@@ -248,7 +274,13 @@ impl Hierarchy {
                     access.addr
                 );
                 self.stats.structures[sid.0].bypasses += 1;
-                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Bypassed, latency: 0 });
+                bypassed += 1;
+                scratch.probes.push(ProbeRecord {
+                    structure: sid,
+                    level,
+                    outcome: ProbeOutcome::Bypassed,
+                    latency: 0,
+                });
                 continue;
             }
             let was_mru = self.caches[sid.0].mru_way_correct(access.addr);
@@ -256,6 +288,9 @@ impl Hierarchy {
             let hit = cache.lookup(access.addr).hit;
             let st = &mut self.stats.structures[sid.0];
             st.probes += 1;
+            if level > 1 {
+                probed_beyond_l1 += 1;
+            }
             if hit {
                 st.hits += 1;
                 if was_mru {
@@ -263,7 +298,12 @@ impl Hierarchy {
                 }
                 let lat = cache.config().hit_latency;
                 latency += lat;
-                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Hit, latency: lat });
+                scratch.probes.push(ProbeRecord {
+                    structure: sid,
+                    level,
+                    outcome: ProbeOutcome::Hit,
+                    latency: lat,
+                });
                 supply_level = level;
                 break;
             } else {
@@ -272,7 +312,12 @@ impl Hierarchy {
                 let lat = cache.config().miss_latency;
                 latency += lat;
                 miss_latency += lat;
-                probes.push(ProbeRecord { structure: sid, level, outcome: ProbeOutcome::Miss, latency: lat });
+                scratch.probes.push(ProbeRecord {
+                    structure: sid,
+                    level,
+                    outcome: ProbeOutcome::Miss,
+                    latency: lat,
+                });
             }
         }
 
@@ -280,39 +325,47 @@ impl Hierarchy {
             latency += self.config.memory_latency;
             self.stats.memory_supplies += 1;
         }
-        bypassed += probes.iter().filter(|p| p.outcome == ProbeOutcome::Bypassed).count() as u32;
 
         // Refill: install the block into every structure on the path below
         // the supplier (missed or bypassed alike — the refill travels back
         // through them).
-        let path_owned: Vec<StructureId> =
-            if access.kind.is_instruction() { self.instr_path.clone() } else { self.data_path.clone() };
-        for &sid in &path_owned {
+        for i in 0..path_len {
+            let sid = if is_instr { self.instr_path[i] } else { self.data_path[i] };
             let level = self.infos[sid.0].level;
             if level >= supply_level {
                 break;
             }
-            self.fill_structure(sid, access.addr, events);
+            self.fill_structure(sid, access.addr, &mut scratch.events);
         }
 
         // Write handling: a store dirties the first data-side structure
-        // holding the block (write-back) or is propagated immediately
-        // (write-through, counted as a writeback at the L1 for energy).
+        // under write-back, or propagates level by level under
+        // write-through — each write-through level forwards the write (one
+        // write transaction of traffic) until a write-back level absorbs it
+        // as a dirty mark, matching the paper's traffic accounting. A
+        // non-resident block at the absorbing level is left alone
+        // (write-no-allocate beyond L1; the traffic was already counted at
+        // the forwarding level).
         if access.kind == crate::AccessKind::Store {
-            let first = self.data_path[0];
-            match self.caches[first.0].config().write_policy {
-                crate::WritePolicy::WriteBack => {
-                    self.caches[first.0].mark_dirty(access.addr);
-                }
-                crate::WritePolicy::WriteThrough => {
-                    self.stats.structures[first.0].writebacks += 1;
+            for i in 0..self.data_path.len() {
+                let sid = self.data_path[i];
+                match self.caches[sid.0].config().write_policy {
+                    WritePolicy::WriteBack => {
+                        self.caches[sid.0].mark_dirty(access.addr);
+                        break;
+                    }
+                    WritePolicy::WriteThrough => {
+                        self.stats.structures[sid.0].writebacks += 1;
+                        // The write continues to the next level (or memory,
+                        // whose traffic is not per-structure).
+                    }
                 }
             }
         }
 
         // Bookkeeping.
         self.stats.accesses += 1;
-        if access.kind.is_instruction() {
+        if is_instr {
             self.stats.instr_accesses += 1;
         } else {
             self.stats.data_accesses += 1;
@@ -321,17 +374,15 @@ impl Hierarchy {
         self.stats.miss_latency += miss_latency;
         self.stats.supplies_by_level[(supply_level - 1) as usize] += 1;
 
-        AccessResult { supply_level, latency, probes, misses, bypassed }
+        AccessResult { supply_level, latency, misses, bypassed, probed_beyond_l1 }
     }
 
     fn fill_structure(&mut self, sid: StructureId, addr: u64, events: &mut Vec<CacheEvent>) {
         let block_bytes = self.caches[sid.0].config().block_bytes;
         let block_base = addr & !(block_bytes - 1);
-        let already = self.caches[sid.0].contains(addr);
-        let victim = self.caches[sid.0].fill(addr);
-        if already {
-            return;
-        }
+        let FillOutcome::Filled(victim) = self.caches[sid.0].fill(addr) else {
+            return; // already resident: stamp refreshed, nothing to report
+        };
         self.stats.structures[sid.0].fills += 1;
         if let Some(victim) = victim {
             self.stats.structures[sid.0].evictions += 1;
@@ -352,7 +403,12 @@ impl Hierarchy {
                 self.back_invalidate(sid, victim.block_base, block_bytes, events);
             }
         }
-        events.push(CacheEvent { structure: sid, kind: EventKind::Placed, block_base, block_bytes });
+        events.push(CacheEvent {
+            structure: sid,
+            kind: EventKind::Placed,
+            block_base,
+            block_bytes,
+        });
     }
 
     /// Inclusive-mode ablation: evicting from an outer level invalidates
@@ -386,11 +442,15 @@ impl Hierarchy {
         }
     }
 
-    /// Convenience wrapper around [`Hierarchy::access_with_events`] that
-    /// discards the event stream.
+    /// Convenience wrapper around [`Hierarchy::access_with_events`] for
+    /// callers that do not consume the probe trail or event stream. Routes
+    /// through an internal [`ReplayScratch`], so it is just as
+    /// allocation-free in steady state as the explicit-scratch path.
     pub fn access(&mut self, access: Access, bypass: &BypassSet) -> AccessResult {
-        let mut events = Vec::new();
-        self.access_with_events(access, bypass, &mut events)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.access_with_events(access, bypass, &mut scratch);
+        self.scratch = scratch;
+        result
     }
 
     /// Flush every cache and reset statistics.
@@ -425,16 +485,19 @@ mod tests {
     #[test]
     fn cold_miss_goes_to_memory_and_fills_path() {
         let mut h = tiny_two_level();
-        let mut ev = Vec::new();
-        let r = h.access_with_events(Access::load(0x1000), &BypassSet::none(), &mut ev);
+        let mut scratch = ReplayScratch::new();
+        let r = h.access_with_events(Access::load(0x1000), &BypassSet::none(), &mut scratch);
         assert_eq!(r.supply_level, 3); // memory
         assert_eq!(r.latency, 2 + 8 + 100);
         assert_eq!(r.misses, 2);
-        // Filled into dl1 and ul2.
-        assert_eq!(ev.iter().filter(|e| e.kind == EventKind::Placed).count(), 2);
+        assert_eq!(r.probed_beyond_l1, 1); // ul2 was probed
+                                           // Filled into dl1 and ul2.
+        assert_eq!(scratch.events().iter().filter(|e| e.kind == EventKind::Placed).count(), 2);
+        assert_eq!(scratch.probes().len(), 2);
         let r2 = h.access(Access::load(0x1000), &BypassSet::none());
         assert_eq!(r2.supply_level, 1);
         assert_eq!(r2.latency, 2);
+        assert_eq!(r2.probed_beyond_l1, 0);
     }
 
     #[test]
@@ -512,14 +575,14 @@ mod tests {
     #[test]
     fn replacement_events_are_emitted() {
         let mut h = tiny_two_level();
-        let mut ev = Vec::new();
+        let mut scratch = ReplayScratch::new();
         // L1 has 2 sets; 0x0000 and 0x0080 share set 0 (stride 64 covers
         // both sets, stride 128 aliases).
-        h.access_with_events(Access::load(0x0000), &BypassSet::none(), &mut ev);
-        ev.clear();
-        h.access_with_events(Access::load(0x0080), &BypassSet::none(), &mut ev);
+        h.access_with_events(Access::load(0x0000), &BypassSet::none(), &mut scratch);
+        h.access_with_events(Access::load(0x0080), &BypassSet::none(), &mut scratch);
         let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
-        let replaced: Vec<_> = ev
+        let replaced: Vec<_> = scratch
+            .events()
             .iter()
             .filter(|e| e.kind == EventKind::Replaced && e.structure == dl1)
             .collect();
@@ -581,7 +644,7 @@ mod tests {
 
     #[test]
     fn write_through_counts_stores_not_evictions() {
-        let mut cfg = HierarchyConfig {
+        let cfg = HierarchyConfig {
             levels: vec![
                 LevelConfig::Split {
                     instr: CacheConfig::new("il1", 64, 1, 32, 2),
@@ -604,8 +667,90 @@ mod tests {
     }
 
     #[test]
+    fn write_through_stores_propagate_to_next_level() {
+        // Regression: stores through a write-through dl1 were counted there
+        // but never reached ul2 — the next write-back level must absorb the
+        // write as a dirty mark.
+        let mut h = Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2)
+                        .with_write_policy(WritePolicy::WriteThrough),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 256, 2, 32, 8)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        });
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        h.access(Access::store(0x40), &BypassSet::none());
+        assert!(!h.cache(dl1).is_dirty(0x40));
+        assert!(h.cache(ul2).is_dirty(0x40), "store must propagate through write-through dl1");
+        // An ul2 eviction of that block now produces write-back traffic,
+        // which the pre-fix accounting lost entirely.
+        assert_eq!(h.stats().structures[dl1.index()].writebacks, 1);
+        assert_eq!(h.stats().structures[ul2.index()].writebacks, 0);
+    }
+
+    #[test]
+    fn write_through_chain_counts_traffic_at_every_forwarding_level() {
+        // Two stacked write-through levels: the store is forwarded (and
+        // counted) at both, then absorbed by the write-back ul3.
+        let mut h = Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2)
+                        .with_write_policy(WritePolicy::WriteThrough),
+                },
+                LevelConfig::Unified(
+                    CacheConfig::new("ul2", 256, 2, 32, 8)
+                        .with_write_policy(WritePolicy::WriteThrough),
+                ),
+                LevelConfig::Unified(CacheConfig::new("ul3", 1024, 4, 64, 16)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        });
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        let ul3 = h.structures().iter().find(|s| s.name == "ul3").unwrap().id;
+        for _ in 0..3 {
+            h.access(Access::store(0x80), &BypassSet::none());
+        }
+        assert_eq!(h.stats().structures[dl1.index()].writebacks, 3);
+        assert_eq!(h.stats().structures[ul2.index()].writebacks, 3);
+        assert!(h.cache(ul3).is_dirty(0x80));
+        assert!(!h.cache(ul2).is_dirty(0x80));
+    }
+
+    #[test]
     fn mnm_granularity_is_l2_block() {
         let h = Hierarchy::new(HierarchyConfig::paper_five_level());
         assert_eq!(h.mnm_granularity(), 32);
+    }
+
+    #[test]
+    fn mnm_granularity_prefers_data_side_on_split_l2() {
+        // Regression: with a split L2 whose instruction side has a larger
+        // line, `find` over construction order returned il2's block size.
+        let h = Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2),
+                },
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il2", 512, 2, 128, 8),
+                    data: CacheConfig::new("dl2", 512, 2, 64, 8),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul3", 2048, 4, 128, 16)),
+            ],
+            memory_latency: 100,
+            inclusive: false,
+        });
+        assert_eq!(h.mnm_granularity(), 64, "data-side L2 line defines MNM granularity");
     }
 }

@@ -1,9 +1,7 @@
 //! Replacement policies for set-associative caches.
 
-use serde::{Deserialize, Serialize};
-
 /// Victim-selection policy applied within a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way (the paper's policy).
     Lru,
@@ -73,12 +71,10 @@ mod tests {
         let mut rng1 = 42;
         let mut rng2 = 42;
         let stamps = [0u64; 8];
-        let picks1: Vec<_> = (0..32)
-            .map(|_| ReplacementPolicy::Random.choose_victim(&stamps, &mut rng1))
-            .collect();
-        let picks2: Vec<_> = (0..32)
-            .map(|_| ReplacementPolicy::Random.choose_victim(&stamps, &mut rng2))
-            .collect();
+        let picks1: Vec<_> =
+            (0..32).map(|_| ReplacementPolicy::Random.choose_victim(&stamps, &mut rng1)).collect();
+        let picks2: Vec<_> =
+            (0..32).map(|_| ReplacementPolicy::Random.choose_victim(&stamps, &mut rng2)).collect();
         assert_eq!(picks1, picks2);
         assert!(picks1.iter().all(|&w| w < 8));
         // Not all the same way.

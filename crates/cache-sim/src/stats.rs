@@ -1,9 +1,7 @@
 //! Aggregate statistics collected by the hierarchy.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters for one cache structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StructureStats {
     /// Probes that reached the structure (hits + misses; bypasses excluded).
     pub probes: u64,
@@ -59,7 +57,7 @@ impl StructureStats {
 }
 
 /// Counters for the whole hierarchy.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HierarchyStats {
     /// Per-structure counters, indexed by `StructureId::index()`.
     pub structures: Vec<StructureStats>,
@@ -124,7 +122,8 @@ mod tests {
 
     #[test]
     fn reference_hit_rate_counts_bypasses() {
-        let s = StructureStats { probes: 50, hits: 40, misses: 10, bypasses: 50, ..Default::default() };
+        let s =
+            StructureStats { probes: 50, hits: 40, misses: 10, bypasses: 50, ..Default::default() };
         assert!((s.hit_rate() - 0.8).abs() < 1e-12);
         assert!((s.reference_hit_rate() - 0.4).abs() < 1e-12);
     }

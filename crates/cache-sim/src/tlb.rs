@@ -8,14 +8,12 @@
 //! numbers, emitting the same placement/replacement events the MNM
 //! consumes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::Cache;
 use crate::config::CacheConfig;
 use crate::replacement::ReplacementPolicy;
 
 /// Geometry and timing of one TLB level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlbConfig {
     /// Display name ("dtlb1", ...).
     pub name: String,
@@ -38,8 +36,11 @@ impl TlbConfig {
     /// size, associativity not dividing the entry count).
     pub fn new(name: &str, entries: u32, assoc: u32, page_bytes: u64, hit_latency: u64) -> Self {
         assert!(entries.is_power_of_two() && entries > 0, "entry count must be a power of two");
-        assert!(assoc >= 1 && entries % assoc == 0, "ways must divide entries");
-        assert!(page_bytes.is_power_of_two() && page_bytes >= 512, "page size must be a power of two >= 512");
+        assert!(assoc >= 1 && entries.is_multiple_of(assoc), "ways must divide entries");
+        assert!(
+            page_bytes.is_power_of_two() && page_bytes >= 512,
+            "page size must be a power of two >= 512"
+        );
         TlbConfig { name: name.to_owned(), entries, assoc, page_bytes, hit_latency }
     }
 
@@ -58,7 +59,7 @@ impl TlbConfig {
 }
 
 /// Counters for one TLB level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbLevelStats {
     /// Lookups performed (bypassed lookups excluded).
     pub probes: u64,
@@ -152,7 +153,12 @@ impl TwoLevelTlb {
     ///
     /// Refills install the translation into both levels and report L2
     /// placement/replacement events through `events`.
-    pub fn translate(&mut self, addr: u64, bypass_l2: bool, events: &mut Vec<TlbEvent>) -> TlbAccessResult {
+    pub fn translate(
+        &mut self,
+        addr: u64,
+        bypass_l2: bool,
+        events: &mut Vec<TlbEvent>,
+    ) -> TlbAccessResult {
         self.accesses += 1;
         let mut latency = self.l1_latency;
         self.l1_stats.probes += 1;
@@ -180,7 +186,7 @@ impl TwoLevelTlb {
         if supply == 3 {
             latency += self.walk_latency;
             self.walks += 1;
-            if let Some(victim) = self.l2.fill(addr) {
+            if let crate::cache::FillOutcome::Filled(Some(victim)) = self.l2.fill(addr) {
                 events.push(TlbEvent::L2Replaced(victim.block_base >> self.page_shift));
             }
             events.push(TlbEvent::L2Placed(self.page_of(addr)));

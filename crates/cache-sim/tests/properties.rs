@@ -1,37 +1,55 @@
-//! Property-based tests of the cache simulator's core invariants.
+//! Property-style tests of the cache simulator's core invariants.
+//!
+//! Formerly proptest-based; rewritten as deterministic seeded sweeps (a
+//! local splitmix64 drives the input generation) so the workspace builds
+//! with no external crates. Each property runs over many seeds, covering
+//! the same input distributions as before on every run.
 
 use cache_sim::{
-    Access, AccessKind, BypassSet, Cache, CacheConfig, CacheEvent, EventKind, Hierarchy,
-    HierarchyConfig, LevelConfig, ReplacementPolicy,
+    Access, AccessKind, BypassSet, Cache, CacheConfig, EventKind, Hierarchy, HierarchyConfig,
+    LevelConfig, ProbeOutcome, ReplacementPolicy, ReplayScratch,
 };
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// Minimal deterministic generator for test inputs (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn addrs(&mut self, bound: u64, max_len: u64) -> Vec<u64> {
+        let n = 1 + self.below(max_len);
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+}
 
 fn small_config(assoc: u32, policy: ReplacementPolicy) -> CacheConfig {
     CacheConfig::new("t", 8 * u64::from(assoc) * 32, assoc, 32, 1).with_replacement(policy)
 }
 
-fn policy_strategy() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::Fifo),
-        Just(ReplacementPolicy::Random),
-    ]
-}
+/// A reference model over a set-associative cache: occupancy never
+/// exceeds capacity, a just-filled block is always resident, and
+/// evictions report blocks that were genuinely resident.
+#[test]
+fn cache_matches_reference_semantics() {
+    let policies = [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random];
+    let mut gen = Gen(0xCAC4E);
+    for case in 0..64u64 {
+        let assoc = 1 + (case % 4) as u32;
+        let policy = policies[(case / 4) as usize % policies.len()];
+        let addrs = gen.addrs(0x4000, 400);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A reference model over a set-associative cache: occupancy never
-    /// exceeds capacity, a just-filled block is always resident, and
-    /// evictions report blocks that were genuinely resident.
-    #[test]
-    fn cache_matches_reference_semantics(
-        addrs in proptest::collection::vec(0u64..0x4000, 1..400),
-        assoc in 1u32..=4,
-        policy in policy_strategy(),
-    ) {
-        let mut cache = Cache::new(small_config(assoc, policy));
+        let cache = Cache::new(small_config(assoc, policy));
         let capacity = cache.config().num_blocks() as usize;
         let mut resident: HashSet<u64> = HashSet::new();
         let mut hier = Hierarchy::new(HierarchyConfig {
@@ -39,21 +57,18 @@ proptest! {
             memory_latency: 10,
             inclusive: false,
         });
-        let mut events = Vec::new();
+        let mut scratch = ReplayScratch::new();
         for &addr in &addrs {
             let base = cache.block_base(addr);
-            // Drive the same stream through a 1-level hierarchy, whose
-            // fills exercise Cache::fill.
-            events.clear();
-            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut events);
-            for ev in &events {
+            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut scratch);
+            for ev in scratch.events() {
                 match ev.kind {
                     EventKind::Placed => {
-                        prop_assert_eq!(ev.block_base, base);
+                        assert_eq!(ev.block_base, base);
                         resident.insert(ev.block_base);
                     }
                     EventKind::Replaced => {
-                        prop_assert!(
+                        assert!(
                             resident.remove(&ev.block_base),
                             "evicted a block that was not resident: {:#x}",
                             ev.block_base
@@ -61,135 +76,178 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(resident.len() <= capacity);
-            prop_assert!(resident.contains(&base), "block must be resident after access");
+            assert!(resident.len() <= capacity);
+            assert!(resident.contains(&base), "block must be resident after access");
             let sid = hier.structures()[0].id;
-            prop_assert!(hier.contains(sid, addr));
+            assert!(hier.contains(sid, addr));
         }
         // The reference set and the cache agree exactly.
         let sid = hier.structures()[0].id;
         for &b in &resident {
-            prop_assert!(hier.contains(sid, b));
+            assert!(hier.contains(sid, b));
         }
-        prop_assert_eq!(hier.cache(sid).occupancy(), resident.len());
+        assert_eq!(hier.cache(sid).occupancy(), resident.len());
     }
+}
 
-    /// Latency accounting: every access's latency equals the sum of its
-    /// probe latencies plus memory when it reached memory.
-    #[test]
-    fn latency_is_sum_of_probe_latencies(
-        addrs in proptest::collection::vec(0u64..0x20000, 1..300),
-    ) {
+/// Latency accounting: every access's latency equals the sum of its
+/// probe latencies plus memory when it reached memory.
+#[test]
+fn latency_is_sum_of_probe_latencies() {
+    let mut gen = Gen(0x1A7E);
+    for _ in 0..64 {
+        let addrs = gen.addrs(0x20000, 300);
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut scratch = ReplayScratch::new();
         for &addr in &addrs {
-            let r = hier.access(Access::load(addr), &BypassSet::none());
-            let probe_sum: u64 = r.probes.iter().map(|p| p.latency).sum();
+            let r = hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut scratch);
+            let probe_sum: u64 = scratch.probes().iter().map(|p| p.latency).sum();
             let mem = if r.supply_level == hier.memory_level() {
                 hier.config().memory_latency
             } else {
                 0
             };
-            prop_assert_eq!(r.latency, probe_sum + mem);
+            assert_eq!(r.latency, probe_sum + mem);
         }
-        // Aggregate check: total latency equals the sum of per-access ones.
-        let s = hier.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        assert_eq!(hier.stats().accesses, addrs.len() as u64);
     }
+}
 
-    /// Statistics are internally consistent after any access mix.
-    #[test]
-    fn stats_are_consistent(
-        accesses in proptest::collection::vec((0u64..0x10000, 0u8..3), 1..400),
-    ) {
+/// Statistics are internally consistent after any access mix.
+#[test]
+fn stats_are_consistent() {
+    let mut gen = Gen(0x57A75);
+    for _ in 0..64 {
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
-        for &(addr, kind) in &accesses {
-            let access = match kind {
+        let n = 1 + gen.below(400);
+        let mut instr = 0u64;
+        for _ in 0..n {
+            let addr = gen.below(0x10000);
+            let access = match gen.below(3) {
                 0 => Access::load(addr),
                 1 => Access::store(addr),
-                _ => Access::fetch(addr),
+                _ => {
+                    instr += 1;
+                    Access::fetch(addr)
+                }
             };
             hier.access(access, &BypassSet::none());
         }
         let s = hier.stats();
-        prop_assert_eq!(s.accesses, s.instr_accesses + s.data_accesses);
-        prop_assert_eq!(s.accesses, s.supplies_by_level.iter().sum::<u64>());
+        assert_eq!(s.accesses, s.instr_accesses + s.data_accesses);
+        assert_eq!(s.instr_accesses, instr);
+        assert_eq!(s.accesses, s.supplies_by_level.iter().sum::<u64>());
         for st in &s.structures {
-            prop_assert_eq!(st.probes, st.hits + st.misses);
-            prop_assert!(st.evictions <= st.fills);
+            assert_eq!(st.probes, st.hits + st.misses);
+            assert!(st.evictions <= st.fills);
         }
         // L1 structures are probed exactly once per access on their path.
         let il1 = &s.structures[0];
         let dl1 = &s.structures[1];
-        prop_assert_eq!(il1.probes, s.instr_accesses);
-        prop_assert_eq!(dl1.probes, s.data_accesses);
+        assert_eq!(il1.probes, s.instr_accesses);
+        assert_eq!(dl1.probes, s.data_accesses);
     }
+}
 
-    /// Event stream exactness: every Placed block is findable afterwards;
-    /// sub-block expansion covers the full line.
-    #[test]
-    fn events_expand_consistently(
-        addrs in proptest::collection::vec(0u64..0x40000, 1..200),
-    ) {
+/// Event stream exactness: every Placed block is findable afterwards;
+/// sub-block expansion covers the full line.
+#[test]
+fn events_expand_consistently() {
+    let mut gen = Gen(0xE7E27);
+    for _ in 0..64 {
+        let addrs = gen.addrs(0x40000, 200);
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
-        let mut events: Vec<CacheEvent> = Vec::new();
+        let mut scratch = ReplayScratch::new();
         for &addr in &addrs {
-            events.clear();
-            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut events);
-            for ev in &events {
+            hier.access_with_events(Access::load(addr), &BypassSet::none(), &mut scratch);
+            for ev in scratch.events() {
                 let grain = 32; // the MNM granularity of this config
                 let subs: Vec<u64> = ev.sub_blocks(grain).collect();
-                prop_assert_eq!(subs.len() as u64, (ev.block_bytes / grain).max(1));
+                assert_eq!(subs.len() as u64, (ev.block_bytes / grain).max(1));
                 // Sub-blocks are contiguous and cover the line.
                 for w in subs.windows(2) {
-                    prop_assert_eq!(w[1], w[0] + 1);
+                    assert_eq!(w[1], w[0] + 1);
                 }
-                prop_assert_eq!(subs[0] << 5, ev.block_base);
+                assert_eq!(subs[0] << 5, ev.block_base);
                 if ev.kind == EventKind::Placed {
-                    prop_assert!(hier.contains(ev.structure, ev.block_base));
+                    assert!(hier.contains(ev.structure, ev.block_base));
                 }
             }
         }
     }
+}
 
-    /// The instruction path never touches data-only structures and vice
-    /// versa.
-    #[test]
-    fn paths_are_disjoint_at_split_levels(
-        addrs in proptest::collection::vec(0u64..0x8000, 1..200),
-    ) {
+/// The instruction path never touches data-only structures and vice versa.
+#[test]
+fn paths_are_disjoint_at_split_levels() {
+    let mut gen = Gen(0xD15701);
+    for _ in 0..64 {
+        let addrs = gen.addrs(0x8000, 200);
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
         for &addr in &addrs {
             hier.access(Access::fetch(addr), &BypassSet::none());
         }
         let s = hier.stats();
         // dl1 (index 1) and dl2 (index 3) untouched by pure fetch streams.
-        prop_assert_eq!(s.structures[1].probes, 0);
-        prop_assert_eq!(s.structures[3].probes, 0);
-        prop_assert_eq!(s.structures[1].fills, 0);
+        assert_eq!(s.structures[1].probes, 0);
+        assert_eq!(s.structures[3].probes, 0);
+        assert_eq!(s.structures[1].fills, 0);
     }
+}
 
-    /// dry_run_misses agrees with what a subsequent access actually does,
-    /// and never mutates state.
-    #[test]
-    fn dry_run_predicts_the_walk(
-        warm in proptest::collection::vec(0u64..0x8000, 0..150),
-        probe in 0u64..0x8000,
-    ) {
+/// dry_run_misses agrees with what a subsequent access actually does,
+/// and never mutates state.
+#[test]
+fn dry_run_predicts_the_walk() {
+    let mut gen = Gen(0xD2112);
+    for _ in 0..64 {
+        let warm = gen.addrs(0x8000, 150);
+        let probe = gen.below(0x8000);
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
         for &addr in &warm {
             hier.access(Access::load(addr), &BypassSet::none());
         }
         let predicted: Vec<_> = hier.dry_run_misses(Access::load(probe));
         let again: Vec<_> = hier.dry_run_misses(Access::load(probe));
-        prop_assert_eq!(&predicted, &again, "dry run must be pure");
-        let r = hier.access(Access::load(probe), &BypassSet::none());
-        let actual: Vec<_> = r
-            .probes
+        assert_eq!(&predicted, &again, "dry run must be pure");
+        let mut scratch = ReplayScratch::new();
+        hier.access_with_events(Access::load(probe), &BypassSet::none(), &mut scratch);
+        let actual: Vec<_> = scratch
+            .probes()
             .iter()
-            .filter(|p| p.level > 1 && p.outcome == cache_sim::ProbeOutcome::Miss)
+            .filter(|p| p.level > 1 && p.outcome == ProbeOutcome::Miss)
             .map(|p| p.structure)
             .collect();
-        prop_assert_eq!(predicted, actual);
+        assert_eq!(predicted, actual);
+    }
+}
+
+/// The reusable-scratch hot path and a fresh-scratch-per-access replay
+/// produce byte-identical statistics and results: buffer reuse is purely
+/// an allocation optimisation, never a semantic change.
+#[test]
+fn scratch_reuse_matches_fresh_allocation_exactly() {
+    let mut gen = Gen(0x5C2A7C4);
+    for _ in 0..32 {
+        let mut reused = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut fresh = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut scratch = ReplayScratch::new();
+        let n = 1 + gen.below(500);
+        for _ in 0..n {
+            let addr = gen.below(0x20000);
+            let access = match gen.below(3) {
+                0 => Access::load(addr),
+                1 => Access::store(addr),
+                _ => Access::fetch(addr),
+            };
+            let a = reused.access_with_events(access, &BypassSet::none(), &mut scratch);
+            let mut one_shot = ReplayScratch::new();
+            let b = fresh.access_with_events(access, &BypassSet::none(), &mut one_shot);
+            assert_eq!(a, b);
+            assert_eq!(scratch.probes(), one_shot.probes());
+            assert_eq!(scratch.events(), one_shot.events());
+        }
+        assert_eq!(reused.stats(), fresh.stats());
     }
 }
 

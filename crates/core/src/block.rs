@@ -1,14 +1,12 @@
 //! The MNM's working block granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// The block granularity at which the MNM keys all of its structures.
 ///
 /// The paper fixes this to the level-2 line size (§3.1): "They are shifted
 /// according to the block size of the level 2 cache(s)". Addresses entering
 /// any MNM structure are byte addresses shifted right by this granularity;
 /// events from caches with larger lines expand into multiple MNM blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Granularity {
     shift: u32,
 }

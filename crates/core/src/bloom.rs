@@ -16,13 +16,11 @@
 //! The comparison experiment (`rw02`) quantifies what real hashing buys at
 //! equal storage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::filter::MissFilter;
 
 /// `BLOOM_<bits>x<hashes>`: `2^bits` counters shared by `hashes` hash
 /// functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BloomConfig {
     /// log2 of the counter count.
     pub bits: u32,
@@ -61,8 +59,7 @@ pub struct BloomFilter {
 
 /// One round of a splitmix64-style mixer, parameterized by the hash index.
 fn mix(block: u64, which: u32) -> u64 {
-    let mut z = block
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(which) + 1));
+    let mut z = block.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(which) + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

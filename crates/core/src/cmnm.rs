@@ -29,13 +29,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::filter::MissFilter;
 
 /// `CMNM_<registers>_<table_bits>` (e.g. `CMNM_8_12`): `registers` entries
 /// in the virtual-tag finder, `2^table_bits` counters per register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CmnmConfig {
     /// Number of virtual-tag registers (k). Must be a power of two.
     pub registers: u32,
@@ -225,14 +223,23 @@ impl MissFilter for Cmnm {
 
     fn storage_bits(&self) -> u64 {
         let reg_bits = u64::from(self.config.registers)
-            * (u64::from(self.high_bits) + u64::from(self.high_bits.next_power_of_two().trailing_zeros()) + 1);
-        let table_bits =
-            (u64::from(self.config.registers) << self.config.table_bits) * u64::from(self.config.counter_bits);
+            * (u64::from(self.high_bits)
+                + u64::from(self.high_bits.next_power_of_two().trailing_zeros())
+                + 1);
+        let table_bits = (u64::from(self.config.registers) << self.config.table_bits)
+            * u64::from(self.config.counter_bits);
         reg_bits + table_bits
     }
 
     fn label(&self) -> String {
         self.config.label()
+    }
+
+    fn reserve(&mut self, max_live_blocks: usize) {
+        // The live map holds at most one entry per resident block of the
+        // guarded structure; sizing it up-front keeps on_place free of
+        // rehash allocations.
+        self.live.reserve(max_live_blocks.saturating_sub(self.live.capacity()));
     }
 }
 
@@ -284,8 +291,8 @@ mod tests {
         f.on_place(0x1000_0000); // reg 0
         f.on_place(0x2000_0000); // reg 1
         f.on_place(0x1000_1000); // widens a register (same low nibble as reg0's block!)
-        // Replace the widened block; the original block must stay a
-        // maybe-hit even though both share low bits.
+                                 // Replace the widened block; the original block must stay a
+                                 // maybe-hit even though both share low bits.
         f.on_replace(0x1000_1000);
         assert!(!f.is_definite_miss(0x1000_0000), "sound pairing of place/replace");
         f.on_replace(0x1000_0000);

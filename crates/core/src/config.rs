@@ -4,8 +4,6 @@
 use std::fmt;
 use std::ops::RangeInclusive;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bloom::BloomConfig;
 use crate::cmnm::CmnmConfig;
 use crate::rmnm::RmnmConfig;
@@ -13,7 +11,7 @@ use crate::smnm::SmnmConfig;
 use crate::tmnm::TmnmConfig;
 
 /// Where the MNM sits relative to the L1 caches (paper Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MnmPlacement {
     /// Accessed in parallel with the L1 caches; its verdict is ready before
     /// the L1 miss is detected, so bypassing adds no latency. Queried on
@@ -33,7 +31,7 @@ pub enum MnmPlacement {
 }
 
 /// One per-structure filter technique (everything except the shared RMNM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TechniqueConfig {
     /// Sum-hash checkers (paper §3.2).
     Smnm(SmnmConfig),
@@ -59,7 +57,7 @@ impl TechniqueConfig {
 }
 
 /// Techniques applied to the structures of a group of cache levels.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// Cache levels (1-based, inclusive) this assignment covers. Level 1 is
     /// never filtered even if included.
@@ -70,7 +68,7 @@ pub struct Assignment {
 }
 
 /// Full configuration of a [`Mnm`](crate::Mnm).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MnmConfig {
     /// Display name, e.g. `"HMNM4"` or `"TMNM_12x3"`.
     pub name: String,
@@ -258,7 +256,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "XMNM_1", "TMNM_12", "TMNM_0x1", "SMNM_10x9", "RMNM_100_2", "HMNM9", "CMNM_3_10"] {
+        for bad in
+            ["", "XMNM_1", "TMNM_12", "TMNM_0x1", "SMNM_10x9", "RMNM_100_2", "HMNM9", "CMNM_3_10"]
+        {
             assert!(MnmConfig::parse(bad).is_err(), "{bad} should not parse");
         }
     }

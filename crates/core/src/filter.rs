@@ -37,4 +37,10 @@ pub trait MissFilter: std::fmt::Debug + Send {
 
     /// Short configuration label, e.g. `"TMNM_12x3"`.
     fn label(&self) -> String;
+
+    /// Upper bound on simultaneously-live blocks in the guarded structure
+    /// (its capacity in MNM blocks). Filters with dynamically-sized
+    /// bookkeeping pre-size it here so the per-access hot path never
+    /// allocates; the hardware-shaped tables ignore this.
+    fn reserve(&mut self, _max_live_blocks: usize) {}
 }

@@ -114,11 +114,8 @@ mod tests {
     #[test]
     fn hmnm4_matches_table3() {
         let cfg = hmnm_config(4);
-        let labels: Vec<String> = cfg
-            .assignments
-            .iter()
-            .flat_map(|a| a.techniques.iter().map(|t| t.label()))
-            .collect();
+        let labels: Vec<String> =
+            cfg.assignments.iter().flat_map(|a| a.techniques.iter().map(|t| t.label())).collect();
         assert_eq!(labels, ["SMNM_20x3", "TMNM_10x3", "CMNM_8_12", "TMNM_12x3"]);
         assert_eq!(cfg.rmnm.unwrap().label(), "RMNM_4096_8");
     }

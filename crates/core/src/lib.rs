@@ -61,7 +61,7 @@ pub use cmnm::{Cmnm, CmnmConfig};
 pub use config::{Assignment, MnmConfig, MnmPlacement, ParseConfigError, TechniqueConfig};
 pub use filter::MissFilter;
 pub use machine::{ComponentStorage, Mnm};
-pub use perfect::perfect_bypass;
+pub use perfect::{perfect_bypass, PerfectFilter};
 pub use rmnm::{Rmnm, RmnmConfig};
 pub use smnm::{SmnmChecker, SmnmConfig, SmnmFilter};
 pub use stats::{MnmStats, SlotStats};

@@ -1,7 +1,8 @@
 //! The Mostly No Machine: technique filters wired to a cache hierarchy.
 
 use cache_sim::{
-    Access, AccessResult, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeOutcome, StructureId,
+    Access, AccessFilter, AccessResult, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeOutcome,
+    ProbeRecord, ReplayScratch, StructureId,
 };
 
 use crate::block::Granularity;
@@ -51,7 +52,9 @@ pub struct Mnm {
     data_slots: Vec<usize>,
     rmnm: Option<Rmnm>,
     stats: MnmStats,
-    events_buf: Vec<CacheEvent>,
+    /// Reusable probe/event buffers for [`Mnm::run_access`]: the full
+    /// per-access protocol allocates nothing in steady state.
+    scratch: ReplayScratch,
 }
 
 impl Mnm {
@@ -68,16 +71,22 @@ impl Mnm {
             if info.level < 2 {
                 continue;
             }
+            // Capacity of the guarded structure in MNM blocks: bounds any
+            // filter bookkeeping that is sized by residency.
+            let max_live =
+                (hierarchy.cache(info.id).config().size_bytes / granularity.bytes()) as usize;
             let filters: Vec<Box<dyn MissFilter>> = config
                 .techniques_for_level(info.level)
                 .into_iter()
                 .map(|t| -> Box<dyn MissFilter> {
-                    match t {
+                    let mut f: Box<dyn MissFilter> = match t {
                         TechniqueConfig::Smnm(c) => Box::new(SmnmFilter::new(c)),
                         TechniqueConfig::Tmnm(c) => Box::new(TmnmFilter::new(c)),
                         TechniqueConfig::Cmnm(c) => Box::new(Cmnm::new(c)),
                         TechniqueConfig::Bloom(c) => Box::new(BloomFilter::new(c)),
-                    }
+                    };
+                    f.reserve(max_live);
+                    f
                 })
                 .collect();
             slot_of_structure[info.id.index()] = Some(slots.len());
@@ -111,7 +120,7 @@ impl Mnm {
             data_slots,
             rmnm,
             stats,
-            events_buf: Vec::new(),
+            scratch: ReplayScratch::new(),
         }
     }
 
@@ -204,11 +213,11 @@ impl Mnm {
         }
     }
 
-    /// Fold an access outcome into the coverage statistics (paper §4.2):
-    /// every probe at level ≥ 2 that missed is a bypassable miss; every
-    /// bypassed probe is an identified one.
-    pub fn note_result(&mut self, result: &AccessResult) {
-        for p in &result.probes {
+    /// Fold an access's probe trail into the coverage statistics (paper
+    /// §4.2): every probe at level ≥ 2 that missed is a bypassable miss;
+    /// every bypassed probe is an identified one.
+    pub fn note_probes(&mut self, probes: &[ProbeRecord]) {
+        for p in probes {
             let Some(si) = self.slot_of_structure[p.structure.index()] else {
                 continue;
             };
@@ -226,15 +235,16 @@ impl Mnm {
 
     /// Query, drive the access through the hierarchy with the resulting
     /// bypass set, feed the event stream back, and record coverage — the
-    /// full per-access MNM protocol in one call.
+    /// full per-access MNM protocol in one call. Reuses the machine's
+    /// internal scratch buffers: zero heap allocations per access in
+    /// steady state.
     pub fn run_access(&mut self, hierarchy: &mut Hierarchy, access: Access) -> AccessResult {
         let bypass = self.query(access);
-        let mut events = std::mem::take(&mut self.events_buf);
-        events.clear();
-        let result = hierarchy.access_with_events(access, &bypass, &mut events);
-        self.observe_events(&events);
-        self.events_buf = events;
-        self.note_result(&result);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = hierarchy.access_with_events(access, &bypass, &mut scratch);
+        self.observe_events(scratch.events());
+        self.note_probes(scratch.probes());
+        self.scratch = scratch;
         result
     }
 
@@ -253,8 +263,10 @@ impl Mnm {
                 }
             }
             MnmPlacement::Distributed => {
-                let consulted =
-                    result.probes.iter().filter(|p| p.level > 1).count() as u64;
+                // Consulted at every non-L1 structure the request reached:
+                // both the ones actually probed and the ones the MNM let it
+                // skip (the skip decision itself is an MNM consultation).
+                let consulted = u64::from(result.probed_beyond_l1 + result.bypassed);
                 result.latency + self.config.delay * consulted
             }
         }
@@ -303,6 +315,23 @@ impl Mnm {
             r.flush();
         }
         self.reset_stats();
+    }
+}
+
+/// The MNM plugs directly into [`cache_sim::ReplaySession`]: queries
+/// produce the miss tags, and the session feeds events and probe trails
+/// back into the filters — the same protocol as [`Mnm::run_access`].
+impl AccessFilter for Mnm {
+    fn query(&mut self, _hierarchy: &Hierarchy, access: Access) -> BypassSet {
+        Mnm::query(self, access)
+    }
+
+    fn observe_events(&mut self, _hierarchy: &Hierarchy, events: &[CacheEvent]) {
+        Mnm::observe_events(self, events);
+    }
+
+    fn note_probes(&mut self, _access: Access, probes: &[ProbeRecord]) {
+        Mnm::note_probes(self, probes);
     }
 }
 
@@ -386,7 +415,8 @@ mod tests {
         let r = parallel.run_access(&mut hier, Access::load(0x4000));
         assert_eq!(parallel.adjusted_latency(&r), r.latency);
 
-        let serial_cfg = MnmConfig::parse("TMNM_10x1").unwrap().with_placement(MnmPlacement::Serial);
+        let serial_cfg =
+            MnmConfig::parse("TMNM_10x1").unwrap().with_placement(MnmPlacement::Serial);
         let mut hier2 = tiny_hierarchy();
         let mut serial = Mnm::new(&hier2, serial_cfg);
         let r = serial.run_access(&mut hier2, Access::load(0x4000));

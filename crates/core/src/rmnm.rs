@@ -6,11 +6,9 @@
 //! structure *c* and has not been placed back since", so an access to it
 //! will definitely miss there. Cold misses are invisible to this technique.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of the RMNM cache: `RMNM_<blocks>_<assoc>` in the paper's
 /// figures (e.g. `RMNM_4096_8` = 4096 entries, 8-way).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RmnmConfig {
     /// Total number of entries. Must be a power of two and a multiple of
     /// `assoc`.
@@ -29,7 +27,7 @@ impl RmnmConfig {
     pub fn new(blocks: u32, assoc: u32) -> Self {
         assert!(blocks.is_power_of_two(), "RMNM entry count must be a power of two");
         assert!(assoc >= 1, "RMNM associativity must be at least 1");
-        assert!(blocks % assoc == 0, "RMNM entries must divide evenly into ways");
+        assert!(blocks.is_multiple_of(assoc), "RMNM entries must divide evenly into ways");
         assert!((blocks / assoc).is_power_of_two(), "RMNM set count must be a power of two");
         RmnmConfig { blocks, assoc }
     }
@@ -199,7 +197,7 @@ mod tests {
         // One guarded structure (the L2), slot 0.
         let mut r = Rmnm::new(RmnmConfig::new(8, 1), 1);
         let g = |addr: u64| addr >> 5; // 32-byte L2 blocks
-        // x2ff4 placed into L1 and L2; x2fc0 later replaced from L2.
+                                       // x2ff4 placed into L1 and L2; x2fc0 later replaced from L2.
         r.on_place(0, g(0x2ff4));
         r.on_place(0, g(0x2fc0));
         r.on_replace(0, g(0x2fc0));

@@ -21,15 +21,13 @@
 //! examines the bits starting from the 7th ... the third one starting from
 //! the 13th"); an access is a definite miss if *any* checker rejects it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::filter::MissFilter;
 
 /// Bit offsets at which replicated checkers/tables slice the block address.
 pub(crate) const SLICE_OFFSETS: [u32; 3] = [0, 6, 12];
 
 /// `SMNM_<sum_width>x<replication>` (e.g. `SMNM_13x2`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmnmConfig {
     /// Bits examined by each checker.
     pub sum_width: u32,

@@ -1,9 +1,7 @@
 //! Coverage and activity statistics for the MNM.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters for one guarded cache structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlotStats {
     /// Filter queries issued for this structure.
     pub queries: u64,
@@ -30,7 +28,7 @@ impl SlotStats {
 }
 
 /// Aggregate counters for the whole machine.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MnmStats {
     /// Accesses for which the machine was queried.
     pub accesses: u64,
@@ -80,8 +78,10 @@ mod tests {
     #[test]
     fn coverage_is_ratio_of_sums() {
         let mut st = MnmStats::new(2);
-        st.slots[0] = SlotStats { bypassable_misses: 30, identified_misses: 30, ..Default::default() };
-        st.slots[1] = SlotStats { bypassable_misses: 70, identified_misses: 20, ..Default::default() };
+        st.slots[0] =
+            SlotStats { bypassable_misses: 30, identified_misses: 30, ..Default::default() };
+        st.slots[1] =
+            SlotStats { bypassable_misses: 70, identified_misses: 20, ..Default::default() };
         assert!((st.coverage() - 0.5).abs() < 1e-12);
         assert!((st.slots[0].coverage() - 1.0).abs() < 1e-12);
     }

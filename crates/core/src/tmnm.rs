@@ -10,14 +10,12 @@
 //! The paper uses 3-bit counters; the width is configurable here for the
 //! counter-width ablation study.
 
-use serde::{Deserialize, Serialize};
-
 use crate::filter::MissFilter;
 use crate::smnm::SLICE_OFFSETS;
 
 /// `TMNM_<bits>x<replication>` (e.g. `TMNM_12x3`). `counter_bits` defaults
 /// to the paper's 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TmnmConfig {
     /// Index width: each table has `2^bits` counters.
     pub bits: u32,
@@ -168,7 +166,9 @@ impl MissFilter for TmnmFilter {
     }
 
     fn storage_bits(&self) -> u64 {
-        (self.tables.len() as u64) * (1u64 << self.config.bits) * u64::from(self.config.counter_bits)
+        (self.tables.len() as u64)
+            * (1u64 << self.config.bits)
+            * u64::from(self.config.counter_bits)
     }
 
     fn label(&self) -> String {

@@ -1,13 +1,26 @@
-//! Property-based tests of each filter against an exact reference model
-//! of cache contents: the one-sided soundness contract, flush semantics,
-//! and technique-specific guarantees.
+//! Tests of each filter against an exact reference model of cache
+//! contents: the one-sided soundness contract, flush semantics, and
+//! technique-specific guarantees. Deterministic seeded sweeps (formerly
+//! proptest).
 
 use std::collections::HashMap;
 
 use mnm_core::{
     Cmnm, CmnmConfig, MissFilter, Rmnm, RmnmConfig, SmnmConfig, SmnmFilter, TmnmConfig, TmnmFilter,
 };
-use proptest::prelude::*;
+
+/// Minimal deterministic generator for test inputs (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
 
 /// An abstract cache trace: alternating place/replace operations that a
 /// real cache could emit (a block is placed at most once before being
@@ -17,32 +30,26 @@ struct CacheTrace {
     ops: Vec<(bool, u64)>, // (is_place, block)
 }
 
-fn cache_trace(max_ops: usize, addr_space: u64) -> impl Strategy<Value = CacheTrace> {
-    proptest::collection::vec((any::<bool>(), 0..addr_space), 1..max_ops).prop_map(move |raw| {
-        // Repair the raw stream into a legal place/replace alternation.
-        let mut live: HashMap<u64, u32> = HashMap::new();
-        let mut ops = Vec::with_capacity(raw.len());
-        for (want_place, block) in raw {
-            let count = live.entry(block).or_insert(0);
-            if want_place && *count == 0 {
-                *count = 1;
-                ops.push((true, block));
-            } else if !want_place && *count == 1 {
-                *count = 0;
-                ops.push((false, block));
-            } else if *count == 0 {
-                *count = 1;
-                ops.push((true, block));
-            } else {
-                *count = 0;
-                ops.push((false, block));
-            }
+fn cache_trace(gen: &mut Gen, max_ops: u64, addr_space: u64) -> CacheTrace {
+    let n = 1 + gen.next() % max_ops;
+    // Repair the raw stream into a legal place/replace alternation.
+    let mut live: HashMap<u64, u32> = HashMap::new();
+    let mut ops = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let block = gen.next() % addr_space;
+        let count = live.entry(block).or_insert(0);
+        if *count == 0 {
+            *count = 1;
+            ops.push((true, block));
+        } else {
+            *count = 0;
+            ops.push((false, block));
         }
-        CacheTrace { ops }
-    })
+    }
+    CacheTrace { ops }
 }
 
-fn check_filter_soundness(filter: &mut dyn MissFilter, trace: &CacheTrace) -> Result<(), String> {
+fn check_filter_soundness(filter: &mut dyn MissFilter, trace: &CacheTrace) {
     let mut live: HashMap<u64, bool> = HashMap::new();
     for &(is_place, block) in &trace.ops {
         if is_place {
@@ -54,50 +61,59 @@ fn check_filter_soundness(filter: &mut dyn MissFilter, trace: &CacheTrace) -> Re
         }
         // Soundness: every *live* block must be a maybe.
         for (&b, &alive) in &live {
-            if alive && filter.is_definite_miss(b) {
-                return Err(format!("{} flagged live block {b:#x}", filter.label()));
-            }
+            assert!(
+                !(alive && filter.is_definite_miss(b)),
+                "{} flagged live block {b:#x}",
+                filter.label()
+            );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn smnm_never_flags_live_blocks(trace in cache_trace(200, 0x2000), w in 4u32..16, r in 1u32..=3) {
+#[test]
+fn smnm_never_flags_live_blocks() {
+    let mut gen = Gen(0x5111);
+    for case in 0..40u64 {
+        let w = 4 + (case % 12) as u32;
+        let r = 1 + (case % 3) as u32;
+        let trace = cache_trace(&mut gen, 200, 0x2000);
         let mut f = SmnmFilter::new(SmnmConfig::new(w, r));
-        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+        check_filter_soundness(&mut f, &trace);
     }
+}
 
-    #[test]
-    fn tmnm_never_flags_live_blocks(
-        trace in cache_trace(200, 0x2000),
-        bits in 2u32..14,
-        r in 1u32..=3,
-        cw in 1u32..=4,
-    ) {
+#[test]
+fn tmnm_never_flags_live_blocks() {
+    let mut gen = Gen(0x7111);
+    for case in 0..40u64 {
+        let bits = 2 + (case % 12) as u32;
+        let r = 1 + (case % 3) as u32;
+        let cw = 1 + (case % 4) as u32;
+        let trace = cache_trace(&mut gen, 200, 0x2000);
         let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(bits, r, cw));
-        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+        check_filter_soundness(&mut f, &trace);
     }
+}
 
-    #[test]
-    fn cmnm_never_flags_live_blocks(
-        trace in cache_trace(200, 0x80000),
-        k in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
-        m in 2u32..14,
-    ) {
+#[test]
+fn cmnm_never_flags_live_blocks() {
+    let mut gen = Gen(0xC111);
+    for case in 0..40u64 {
+        let k = [1u32, 2, 4, 8][(case % 4) as usize];
+        let m = 2 + (case % 12) as u32;
+        let trace = cache_trace(&mut gen, 200, 0x80000);
         let mut f = Cmnm::new(CmnmConfig::new(k, m));
-        check_filter_soundness(&mut f, &trace).map_err(|e| TestCaseError::fail(e))?;
+        check_filter_soundness(&mut f, &trace);
     }
+}
 
-    #[test]
-    fn rmnm_never_flags_live_blocks(
-        trace in cache_trace(200, 0x2000),
-        blocks in prop_oneof![Just(16u32), Just(64), Just(256)],
-        assoc in prop_oneof![Just(1u32), Just(2), Just(4)],
-    ) {
+#[test]
+fn rmnm_never_flags_live_blocks() {
+    let mut gen = Gen(0x2111);
+    for case in 0..40u64 {
+        let blocks = [16u32, 64, 256][(case % 3) as usize];
+        let assoc = [1u32, 2, 4][(case / 3 % 3) as usize];
+        let trace = cache_trace(&mut gen, 200, 0x2000);
         // The RMNM is shared; exercise one slot through the same trace.
         let mut r = Rmnm::new(RmnmConfig::new(blocks, assoc), 3);
         let mut live: HashMap<u64, bool> = HashMap::new();
@@ -110,21 +126,22 @@ proptest! {
                 live.insert(block, false);
             }
             for (&b, &alive) in &live {
-                prop_assert!(
-                    !(alive && r.is_definite_miss(1, b)),
-                    "RMNM flagged live block {b:#x}"
-                );
+                assert!(!(alive && r.is_definite_miss(1, b)), "RMNM flagged live block {b:#x}");
                 // Other slots never saw events: they must stay silent.
-                prop_assert!(!r.is_definite_miss(0, b));
-                prop_assert!(!r.is_definite_miss(2, b));
+                assert!(!r.is_definite_miss(0, b));
+                assert!(!r.is_definite_miss(2, b));
             }
         }
     }
+}
 
-    /// TMNM exactness: with wide-enough counters and a table large enough
-    /// to avoid aliasing, TMNM is a *perfect* filter (counter == live).
-    #[test]
-    fn tmnm_is_exact_without_aliasing(trace in cache_trace(120, 64)) {
+/// TMNM exactness: with wide-enough counters and a table large enough
+/// to avoid aliasing, TMNM is a *perfect* filter (counter == live).
+#[test]
+fn tmnm_is_exact_without_aliasing() {
+    let mut gen = Gen(0xE8AC7);
+    for _ in 0..40 {
+        let trace = cache_trace(&mut gen, 120, 64);
         let mut f = TmnmFilter::new(TmnmConfig::with_counter_bits(6, 1, 8));
         let mut live: HashMap<u64, bool> = HashMap::new();
         for &(is_place, block) in &trace.ops {
@@ -139,13 +156,17 @@ proptest! {
         // 64 possible blocks, 64 slots, counters up to 255: no aliasing,
         // no saturation => definite-miss iff dead.
         for (&b, &alive) in &live {
-            prop_assert_eq!(f.is_definite_miss(b), !alive, "block {:#x}", b);
+            assert_eq!(f.is_definite_miss(b), !alive, "block {b:#x}");
         }
     }
+}
 
-    /// Flush must restore the all-cold verdict for every technique.
-    #[test]
-    fn flush_makes_everything_a_definite_miss_again(trace in cache_trace(100, 0x1000)) {
+/// Flush must restore the all-cold verdict for every technique.
+#[test]
+fn flush_makes_everything_a_definite_miss_again() {
+    let mut gen = Gen(0xF1054);
+    for _ in 0..40 {
+        let trace = cache_trace(&mut gen, 100, 0x1000);
         let mut filters: Vec<Box<dyn MissFilter>> = vec![
             Box::new(SmnmFilter::new(SmnmConfig::new(10, 2))),
             Box::new(TmnmFilter::new(TmnmConfig::new(10, 1))),
@@ -161,20 +182,28 @@ proptest! {
             }
             f.flush();
             for &(_, block) in &trace.ops {
-                prop_assert!(f.is_definite_miss(block), "{} kept state across flush", f.label());
+                assert!(f.is_definite_miss(block), "{} kept state across flush", f.label());
             }
         }
     }
+}
 
-    /// Storage accounting is stable: label and bit count do not depend on
-    /// the history of operations.
-    #[test]
-    fn storage_is_history_independent(trace in cache_trace(100, 0x1000)) {
+/// Storage accounting is stable: label and bit count do not depend on
+/// the history of operations.
+#[test]
+fn storage_is_history_independent() {
+    let mut gen = Gen(0x570124);
+    for _ in 0..40 {
+        let trace = cache_trace(&mut gen, 100, 0x1000);
         let mut f = TmnmFilter::new(TmnmConfig::new(12, 3));
         let before = (f.label(), f.storage_bits());
         for &(is_place, block) in &trace.ops {
-            if is_place { f.on_place(block) } else { f.on_replace(block) }
+            if is_place {
+                f.on_place(block)
+            } else {
+                f.on_replace(block)
+            }
         }
-        prop_assert_eq!(before, (f.label(), f.storage_bits()));
+        assert_eq!(before, (f.label(), f.storage_bits()));
     }
 }

@@ -1,12 +1,10 @@
 //! Processor-core configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How the scheduler wakes up dependents of loads (paper §4.5: "The
 /// scheduler can use the miss information to prevent scheduling of the
 /// memory instructions that will miss ... and other instructions dependent
 /// on these memory instructions").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadSpeculation {
     /// Dependents wait for actual data return; no replay cost. This is
     /// the model used for the paper's main results (Figure 15).
@@ -23,7 +21,7 @@ pub enum LoadSpeculation {
 }
 
 /// Resource limits of the modelled out-of-order core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,

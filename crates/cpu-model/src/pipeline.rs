@@ -57,12 +57,7 @@ impl MemPolicy<'_> {
 
 /// Index of the earliest-free resource port.
 fn cheapest(ports: &[u64]) -> usize {
-    ports
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, &t)| t)
-        .map(|(i, _)| i)
-        .expect("at least one port")
+    ports.iter().enumerate().min_by_key(|(_, &t)| t).map(|(i, _)| i).expect("at least one port")
 }
 
 /// Run `max_instrs` instructions of `trace` through the core.
@@ -364,29 +359,24 @@ mod tests {
         let n = 60_000u64;
 
         let mut h_base = hier();
-        let base = simulate(
-            &cfg,
-            &mut h_base,
-            MemPolicy::Baseline,
-            Program::new(profile.clone()),
-            n,
-        );
+        let base =
+            simulate(&cfg, &mut h_base, MemPolicy::Baseline, Program::new(profile.clone()), n);
 
         let mut h_mnm = hier();
         let mut mnm = Mnm::new(&h_mnm, MnmConfig::hmnm(4));
-        let with_mnm = simulate(
-            &cfg,
-            &mut h_mnm,
-            MemPolicy::Mnm(&mut mnm),
-            Program::new(profile.clone()),
-            n,
-        );
+        let with_mnm =
+            simulate(&cfg, &mut h_mnm, MemPolicy::Mnm(&mut mnm), Program::new(profile.clone()), n);
 
         let mut h_perfect = hier();
         let perfect = simulate(&cfg, &mut h_perfect, MemPolicy::Perfect, Program::new(profile), n);
 
         assert!(with_mnm.cycles <= base.cycles, "MNM {} vs base {}", with_mnm.cycles, base.cycles);
-        assert!(perfect.cycles <= with_mnm.cycles, "perfect {} vs MNM {}", perfect.cycles, with_mnm.cycles);
+        assert!(
+            perfect.cycles <= with_mnm.cycles,
+            "perfect {} vs MNM {}",
+            perfect.cycles,
+            with_mnm.cycles
+        );
         assert!(mnm.stats().coverage() > 0.0, "the MNM must identify some misses on mcf");
         // Identical functional behaviour: same cache supply pattern.
         assert_eq!(base.loads, with_mnm.loads);
@@ -405,7 +395,12 @@ mod tests {
         // policy (full knowledge) it does not.
         let mk = || {
             vec![
-                Instr { pc: 0x40_0000, kind: InstrKind::Load { addr: 0x1000_0000 }, src1: 0, src2: 0 },
+                Instr {
+                    pc: 0x40_0000,
+                    kind: InstrKind::Load { addr: 0x1000_0000 },
+                    src1: 0,
+                    src2: 0,
+                },
                 Instr { pc: 0x40_0004, kind: InstrKind::Op { latency: 1 }, src1: 1, src2: 0 },
                 Instr { pc: 0x40_0008, kind: InstrKind::Op { latency: 1 }, src1: 1, src2: 0 },
             ]
@@ -450,12 +445,7 @@ mod tests {
         let wide = CpuConfig::paper_eight_way(); // 4 ports
         let mut h2 = hier();
         let four = simulate(&wide, &mut h2, MemPolicy::Baseline, mk().into_iter(), u64::MAX);
-        assert!(
-            one.cycles > four.cycles * 2,
-            "1 port {} vs 4 ports {}",
-            one.cycles,
-            four.cycles
-        );
+        assert!(one.cycles > four.cycles * 2, "1 port {} vs 4 ports {}", one.cycles, four.cycles);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Timing-simulation results.
 
-use serde::{Deserialize, Serialize};
-
 /// Results of one timing simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CpuStats {
     /// Total execution cycles (commit time of the last instruction).
     pub cycles: u64,

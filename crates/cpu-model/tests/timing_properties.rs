@@ -1,58 +1,74 @@
-//! Property-based tests of the timing model: monotonicity in resources
-//! and latencies, bounds on cycle counts, and policy orderings.
+//! Tests of the timing model: monotonicity in resources and latencies,
+//! bounds on cycle counts, and policy orderings. Deterministic seeded
+//! sweeps (formerly proptest).
 
 use cache_sim::{Hierarchy, HierarchyConfig};
 use ooo_model::{simulate, CpuConfig, LoadSpeculation, MemPolicy};
-use proptest::prelude::*;
 use trace_synth::{profiles, Instr, InstrKind, Program};
+
+/// Minimal deterministic generator for test inputs (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
 
 fn hier() -> Hierarchy {
     Hierarchy::new(HierarchyConfig::paper_five_level())
 }
 
 /// Random but structurally valid instruction traces.
-fn traces() -> impl Strategy<Value = Vec<Instr>> {
-    proptest::collection::vec((0u8..4, 0u32..0x20000, 0u8..4, any::<bool>()), 50..600).prop_map(
-        |raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (kind, addr, dep, flag))| {
-                    let pc = 0x40_0000 + 4 * ((i as u64 * 7) % 512);
-                    let kind = match kind {
-                        0 => InstrKind::Op { latency: 1 + (addr % 4) as u8 },
-                        1 => InstrKind::Load { addr: 0x1000_0000 + u64::from(addr) & !7 },
-                        2 => InstrKind::Store { addr: 0x1000_0000 + u64::from(addr) & !7 },
-                        _ => InstrKind::Branch { mispredicted: flag && i % 7 == 0 },
-                    };
-                    Instr { pc, kind, src1: dep, src2: 0 }
-                })
-                .collect()
-        },
-    )
+fn trace(gen: &mut Gen) -> Vec<Instr> {
+    let n = 50 + gen.next() % 550;
+    (0..n)
+        .map(|i| {
+            let addr = (gen.next() % 0x20000) as u32;
+            let dep = (gen.next() % 4) as u8;
+            let flag = gen.next().is_multiple_of(2);
+            let pc = 0x40_0000 + 4 * ((i * 7) % 512);
+            let kind = match gen.next() % 4 {
+                0 => InstrKind::Op { latency: 1 + (addr % 4) as u8 },
+                1 => InstrKind::Load { addr: (0x1000_0000 + u64::from(addr)) & !7 },
+                2 => InstrKind::Store { addr: (0x1000_0000 + u64::from(addr)) & !7 },
+                _ => InstrKind::Branch { mispredicted: flag && i % 7 == 0 },
+            };
+            Instr { pc, kind, src1: dep, src2: 0 }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Cycle counts are bounded below by the bandwidth limit and above by
-    /// fully-serial execution.
-    #[test]
-    fn cycles_within_structural_bounds(trace in traces()) {
+/// Cycle counts are bounded below by the bandwidth limit and above by
+/// fully-serial execution.
+#[test]
+fn cycles_within_structural_bounds() {
+    let mut gen = Gen(0xB0714D5);
+    for _ in 0..24 {
+        let t = trace(&mut gen);
         let cfg = CpuConfig::paper_eight_way();
-        let n = trace.len() as u64;
+        let n = t.len() as u64;
         let mut h = hier();
-        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, trace.into_iter(), u64::MAX);
-        prop_assert_eq!(s.instructions, n);
-        prop_assert!(s.cycles >= n / u64::from(cfg.commit_width));
+        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, t.into_iter(), u64::MAX);
+        assert_eq!(s.instructions, n);
+        assert!(s.cycles >= n / u64::from(cfg.commit_width));
         // Generous serial upper bound: every instruction pays a full
         // memory round trip plus overheads.
-        prop_assert!(s.cycles <= (n + 10) * 600, "cycles {} for {} instrs", s.cycles, n);
+        assert!(s.cycles <= (n + 10) * 600, "cycles {} for {} instrs", s.cycles, n);
     }
+}
 
-    /// More resources never hurt: doubling widths/window/LSQ cannot
-    /// increase the cycle count on the same trace.
-    #[test]
-    fn resources_are_monotone(trace in traces()) {
+/// More resources never hurt: doubling widths/window/LSQ cannot
+/// increase the cycle count on the same trace.
+#[test]
+fn resources_are_monotone() {
+    let mut gen = Gen(0x2E5);
+    for _ in 0..24 {
+        let t = trace(&mut gen);
         let small = CpuConfig {
             fetch_width: 2,
             issue_width: 2,
@@ -74,38 +90,44 @@ proptest! {
             load_speculation: LoadSpeculation::None,
         };
         let mut h1 = hier();
-        let a = simulate(&small, &mut h1, MemPolicy::Baseline, trace.clone().into_iter(), u64::MAX);
+        let a = simulate(&small, &mut h1, MemPolicy::Baseline, t.clone().into_iter(), u64::MAX);
         let mut h2 = hier();
-        let b = simulate(&big, &mut h2, MemPolicy::Baseline, trace.into_iter(), u64::MAX);
-        prop_assert!(b.cycles <= a.cycles, "big {} vs small {}", b.cycles, a.cycles);
+        let b = simulate(&big, &mut h2, MemPolicy::Baseline, t.into_iter(), u64::MAX);
+        assert!(b.cycles <= a.cycles, "big {} vs small {}", b.cycles, a.cycles);
     }
+}
 
-    /// Memory policies are ordered: perfect <= baseline on the same trace
-    /// (the bypassed walk is never longer).
-    #[test]
-    fn perfect_policy_dominates_baseline(trace in traces()) {
+/// Memory policies are ordered: perfect <= baseline on the same trace
+/// (the bypassed walk is never longer).
+#[test]
+fn perfect_policy_dominates_baseline() {
+    let mut gen = Gen(0xD0);
+    for _ in 0..24 {
+        let t = trace(&mut gen);
         let cfg = CpuConfig::paper_eight_way();
         let mut h1 = hier();
-        let base = simulate(&cfg, &mut h1, MemPolicy::Baseline, trace.clone().into_iter(), u64::MAX);
+        let base = simulate(&cfg, &mut h1, MemPolicy::Baseline, t.clone().into_iter(), u64::MAX);
         let mut h2 = hier();
-        let perfect = simulate(&cfg, &mut h2, MemPolicy::Perfect, trace.into_iter(), u64::MAX);
-        prop_assert!(perfect.cycles <= base.cycles);
-        prop_assert_eq!(perfect.instructions, base.instructions);
+        let perfect = simulate(&cfg, &mut h2, MemPolicy::Perfect, t.into_iter(), u64::MAX);
+        assert!(perfect.cycles <= base.cycles);
+        assert_eq!(perfect.instructions, base.instructions);
         // Functional equivalence: same supply distribution.
-        prop_assert_eq!(
-            h1.stats().supplies_by_level.clone(),
-            h2.stats().supplies_by_level.clone()
-        );
+        assert_eq!(h1.stats().supplies_by_level, h2.stats().supplies_by_level);
     }
+}
 
-    /// The instruction budget is respected exactly.
-    #[test]
-    fn budget_truncates_exactly(trace in traces(), budget in 1u64..200) {
+/// The instruction budget is respected exactly.
+#[test]
+fn budget_truncates_exactly() {
+    let mut gen = Gen(0xB4D9E7);
+    for _ in 0..24 {
+        let t = trace(&mut gen);
+        let budget = 1 + gen.next() % 199;
         let cfg = CpuConfig::paper_eight_way();
         let mut h = hier();
-        let n = trace.len() as u64;
-        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, trace.into_iter(), budget);
-        prop_assert_eq!(s.instructions, budget.min(n));
+        let n = t.len() as u64;
+        let s = simulate(&cfg, &mut h, MemPolicy::Baseline, t.into_iter(), budget);
+        assert_eq!(s.instructions, budget.min(n));
     }
 }
 

@@ -26,10 +26,8 @@ pub fn placement_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
     let cpu_cfg = CpuConfig::paper_eight_way();
     let model = EnergyModel::default();
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
 
     let rows = parallel_run(apps, |app| {
         let base_t = run_app_timed(app, &hier_cfg, &cpu_cfg, &ConfigKind::Baseline, params);
@@ -42,17 +40,18 @@ pub fn placement_table(params: RunParams) -> Table {
             let t = run_app_timed(app, &hier_cfg, &cpu_cfg, &cfg, params);
             let e_run = run_app_functional(app, &hier_cfg, &cfg, params);
             let e = run_energy_nj(&e_run, &hier_cfg, &model);
-            out[i] = 100.0 * (base_t.cpu.cycles as f64 - t.cpu.cycles as f64)
-                / base_t.cpu.cycles as f64;
+            out[i] =
+                100.0 * (base_t.cpu.cycles as f64 - t.cpu.cycles as f64) / base_t.cpu.cycles as f64;
             out[2 + i] = 100.0 * (e_base - e) / e_base;
         }
         (app.name.clone(), out)
     });
 
-    let columns = ["cycles red% (par)", "cycles red% (ser)", "energy red% (par)", "energy red% (ser)"]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect::<Vec<_>>();
+    let columns =
+        ["cycles red% (par)", "cycles red% (ser)", "energy red% (par)", "energy red% (ser)"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>();
     let mut table = Table::new("Ablation 1: HMNM4 placement (parallel vs serial)", "app", &columns);
     for (name, row) in rows {
         table.push_row(&name, row);
@@ -65,18 +64,14 @@ pub fn placement_table(params: RunParams) -> Table {
 /// narrower/wider saturating counters (the paper fixes 3 bits).
 pub fn counter_width_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
     let widths = [1u32, 2, 3, 4];
 
-    let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..widths.len()).map(move |w| (a, w)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..widths.len()).map(move |w| (a, w))).collect();
     let results = parallel_run(jobs, |&(a, w)| {
-        let technique =
-            TechniqueConfig::Tmnm(TmnmConfig::with_counter_bits(12, 3, widths[w]));
+        let technique = TechniqueConfig::Tmnm(TmnmConfig::with_counter_bits(12, 3, widths[w]));
         let cfg = MnmConfig {
             name: format!("TMNM_12x3c{}", widths[w]),
             assignments: vec![Assignment { levels: 2..=u8::MAX, techniques: vec![technique] }],
@@ -112,39 +107,30 @@ pub fn rmnm_sweep_table(params: RunParams) -> Table {
 pub fn delay_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
     let cpu_cfg = CpuConfig::paper_eight_way();
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
     let delays = [1u64, 2, 4, 8];
 
-    let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..=delays.len()).map(move |d| (a, d)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..=delays.len()).map(move |d| (a, d))).collect();
     let cycles = parallel_run(jobs, |&(a, d)| {
         let kind = if d == 0 {
             ConfigKind::Baseline
         } else {
             ConfigKind::Mnm(
-                MnmConfig::hmnm(4)
-                    .with_placement(MnmPlacement::Serial)
-                    .with_delay(delays[d - 1]),
+                MnmConfig::hmnm(4).with_placement(MnmPlacement::Serial).with_delay(delays[d - 1]),
             )
         };
         run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &kind, params).cpu.cycles as f64
     });
 
     let columns: Vec<String> = delays.iter().map(|d| format!("delay {d}")).collect();
-    let mut table = Table::new(
-        "Ablation 4: serial HMNM4 cycle reduction [%] vs MNM delay",
-        "app",
-        &columns,
-    );
+    let mut table =
+        Table::new("Ablation 4: serial HMNM4 cycle reduction [%] vs MNM delay", "app", &columns);
     let w = delays.len() + 1;
     for (a, app) in apps.iter().enumerate() {
         let base = cycles[a * w];
-        let row: Vec<f64> =
-            (1..w).map(|d| 100.0 * (base - cycles[a * w + d]) / base).collect();
+        let row: Vec<f64> = (1..w).map(|d| 100.0 * (base - cycles[a * w + d]) / base).collect();
         table.push_row(&app.name, row);
     }
     table.push_mean_row();
@@ -154,10 +140,8 @@ pub fn delay_table(params: RunParams) -> Table {
 /// abl05 — inclusive vs. non-inclusive hierarchy: HMNM4 coverage under
 /// both fill policies (the paper assumes non-inclusion).
 pub fn inclusion_table(params: RunParams) -> Table {
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
 
     let jobs: Vec<(usize, bool)> =
         (0..apps.len()).flat_map(|a| [false, true].map(move |inc| (a, inc))).collect();
@@ -187,10 +171,8 @@ pub fn inclusion_table(params: RunParams) -> Table {
 pub fn phase_drift_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
     let techniques = ["SMNM_20x3", "RMNM_4096_8", "TMNM_12x3", "CMNM_8_12"];
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
 
     let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
         .flat_map(|a| {
@@ -202,8 +184,7 @@ pub fn phase_drift_table(params: RunParams) -> Table {
         if drift {
             app.phase_drift = Some(PhaseDrift { period: 200_000, drift_bytes: 1 << 24 });
         }
-        let run =
-            run_app_functional(&app, &hier_cfg, &ConfigKind::parse(techniques[t]), params);
+        let run = run_app_functional(&app, &hier_cfg, &ConfigKind::parse(techniques[t]), params);
         run.mnm.map(|m| m.coverage() * 100.0).unwrap_or(0.0)
     });
 
@@ -230,10 +211,8 @@ pub fn phase_drift_table(params: RunParams) -> Table {
 /// removes a similar share of each one, while total cycles shrink.)
 pub fn l1_size_table(params: RunParams) -> Table {
     let cpu_cfg = CpuConfig::paper_eight_way();
-    let apps: Vec<_> = ablation_apps()
-        .into_iter()
-        .map(|n| profiles::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<_> =
+        ablation_apps().into_iter().map(|n| profiles::by_name(n).expect("known app")).collect();
     let sizes_kb = [4u64, 8, 16, 32];
 
     let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
@@ -245,20 +224,14 @@ pub fn l1_size_table(params: RunParams) -> Table {
             instr: cache_sim::CacheConfig::new("il1", sizes_kb[s] * 1024, 1, 32, 2),
             data: cache_sim::CacheConfig::new("dl1", sizes_kb[s] * 1024, 1, 32, 2),
         };
-        let kind = if with_mnm {
-            ConfigKind::Mnm(MnmConfig::hmnm(4))
-        } else {
-            ConfigKind::Baseline
-        };
+        let kind =
+            if with_mnm { ConfigKind::Mnm(MnmConfig::hmnm(4)) } else { ConfigKind::Baseline };
         run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &kind, params).cpu.cycles as f64
     });
 
     let columns: Vec<String> = sizes_kb.iter().map(|s| format!("L1 {s}KB")).collect();
-    let mut table = Table::new(
-        "Ablation 8: parallel HMNM4 cycle reduction [%] vs L1 size",
-        "app",
-        &columns,
-    );
+    let mut table =
+        Table::new("Ablation 8: parallel HMNM4 cycle reduction [%] vs L1 size", "app", &columns);
     let w = sizes_kb.len() * 2;
     for (a, app) in apps.iter().enumerate() {
         let row: Vec<f64> = (0..sizes_kb.len())

@@ -12,10 +12,8 @@
 //! (The paper writes the surviving fraction as `MNM_aborted_i`; for the
 //! access time to shrink it must denote the misses that still probe.)
 
-use serde::{Deserialize, Serialize};
-
 /// Per-level inputs to the analytic model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LevelModel {
     /// Cycles to return data on a hit.
     pub hit_time: f64,
@@ -40,7 +38,8 @@ pub fn eq2_access_time(levels: &[LevelModel], memory_latency: f64) -> f64 {
     let mut reach = 1.0; // Π of miss rates of closer levels
     let mut total = 0.0;
     for l in levels {
-        total += reach * (l.hit_time * (1.0 - l.miss_rate) + l.miss_time * l.unidentified * l.miss_rate);
+        total +=
+            reach * (l.hit_time * (1.0 - l.miss_rate) + l.miss_time * l.unidentified * l.miss_rate);
         reach *= l.miss_rate;
     }
     total + reach * memory_latency
@@ -51,7 +50,7 @@ mod tests {
     use super::*;
     use cache_sim::{Access, AccessKind, BypassSet, Hierarchy, HierarchyConfig};
     use mnm_core::{Mnm, MnmConfig};
-    use rand::{Rng, SeedableRng};
+    use trace_synth::Prng;
 
     fn level(hit: f64, rate: f64) -> LevelModel {
         LevelModel { hit_time: hit, miss_time: hit, miss_rate: rate, unidentified: 1.0 }
@@ -82,7 +81,7 @@ mod tests {
     #[test]
     fn eq1_matches_simulated_mean_access_time() {
         let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut rng = Prng::seed_from_u64(9);
         for _ in 0..200_000 {
             let addr: u64 = rng.gen_range(0..(1u64 << 22)) & !7;
             h.access(Access::load(addr), &BypassSet::none());
@@ -115,7 +114,7 @@ mod tests {
     fn eq2_matches_simulated_mean_access_time_with_mnm() {
         let mut h = Hierarchy::new(HierarchyConfig::paper_five_level());
         let mut mnm = Mnm::new(&h, MnmConfig::hmnm(4));
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut rng = Prng::seed_from_u64(11);
         for _ in 0..150_000 {
             let addr: u64 = rng.gen_range(0..(1u64 << 21)) & !7;
             mnm.run_access(&mut h, Access::load(addr));

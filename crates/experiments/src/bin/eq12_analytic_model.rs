@@ -53,5 +53,7 @@ fn main() {
         table.push_row(&app.name, vec![predicted, simulated, err]);
     }
     print!("{}", table.render());
-    println!("\nNote: eq1 uses data-path rates; instruction-path effects appear as small residuals.");
+    println!(
+        "\nNote: eq1 uses data-path rates; instruction-path effects appear as small residuals."
+    );
 }

@@ -10,7 +10,9 @@ use mnm_experiments::depth::depth_fractions;
 use mnm_experiments::extensions;
 use mnm_experiments::power::power_reduction_table;
 use mnm_experiments::timing::{characteristics_table, execution_reduction_table};
-use mnm_experiments::{RunParams, Table, FIG10_CONFIGS, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS, FIG14_CONFIGS};
+use mnm_experiments::{
+    RunParams, Table, FIG10_CONFIGS, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS, FIG14_CONFIGS,
+};
 
 fn emit(md: &mut String, table: &Table) {
     print!("{}", table.render());

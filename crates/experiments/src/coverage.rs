@@ -19,16 +19,11 @@ pub fn coverage_table(title: &str, config_labels: &[&str], params: RunParams) ->
     let hier_cfg = HierarchyConfig::paper_five_level();
     let apps = profiles::all();
 
-    let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..config_labels.len()).map(move |c| (a, c)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..config_labels.len()).map(move |c| (a, c))).collect();
     let results = parallel_run(jobs, |&(a, c)| {
-        let run = run_app_functional(
-            &apps[a],
-            &hier_cfg,
-            &ConfigKind::parse(config_labels[c]),
-            params,
-        );
+        let run =
+            run_app_functional(&apps[a], &hier_cfg, &ConfigKind::parse(config_labels[c]), params);
         run.mnm.map(|m| m.coverage() * 100.0).unwrap_or(0.0)
     });
 

@@ -57,12 +57,12 @@ pub fn tlb_filter_table(params: RunParams) -> Table {
             let l2_probe_nj = model.small_array_energy(512 * 64);
             let filter_nj = model.small_array_energy(filter.storage_bits());
             let energy = l2.probes as f64 * l2_probe_nj
-                + if filtered {
-                    (l2.probes + l2.bypasses) as f64 * filter_nj
-                } else {
-                    0.0
-                };
-            (l2.bypasses as f64 / (l2.probes + l2.bypasses).max(1) as f64, tlb.mean_latency(), energy)
+                + if filtered { (l2.probes + l2.bypasses) as f64 * filter_nj } else { 0.0 };
+            (
+                l2.bypasses as f64 / (l2.probes + l2.bypasses).max(1) as f64,
+                tlb.mean_latency(),
+                energy,
+            )
         };
         let (_, base_lat, base_energy) = run(false);
         let (bypassed_frac, filt_lat, filt_energy) = run(true);
@@ -77,10 +77,11 @@ pub fn tlb_filter_table(params: RunParams) -> Table {
         )
     });
 
-    let columns = ["L2 lookups skipped %", "base lat [cyc]", "filtered lat [cyc]", "TLB energy red %"]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect::<Vec<_>>();
+    let columns =
+        ["L2 lookups skipped %", "base lat [cyc]", "filtered lat [cyc]", "TLB energy red %"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>();
     let mut table = Table::new("Extension 1 (§4.5): TLB miss filtering", "app", &columns);
     for (name, row) in rows {
         table.push_row(&name, row);
@@ -98,15 +99,16 @@ pub fn tlb_filter_table(params: RunParams) -> Table {
 /// both the Figure 15 latency effect and the avoided replays.
 pub fn scheduler_replay_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
-    let cpu_cfg = CpuConfig::paper_eight_way()
-        .with_load_speculation(LoadSpeculation::Replay { penalty: 6 });
+    let cpu_cfg =
+        CpuConfig::paper_eight_way().with_load_speculation(LoadSpeculation::Replay { penalty: 6 });
     let apps = profiles::all();
 
     let labels = ["Baseline", "HMNM4", "Perfect"];
     let jobs: Vec<(usize, usize)> =
         (0..apps.len()).flat_map(|a| (0..labels.len()).map(move |c| (a, c))).collect();
     let outcomes = parallel_run(jobs, |&(a, c)| {
-        let run = run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &ConfigKind::parse(labels[c]), params);
+        let run =
+            run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &ConfigKind::parse(labels[c]), params);
         (run.cpu.cycles as f64, run.cpu.replays as f64)
     });
 
@@ -114,8 +116,7 @@ pub fn scheduler_replay_table(params: RunParams) -> Table {
         .iter()
         .map(|s| (*s).to_owned())
         .collect::<Vec<_>>();
-    let mut table =
-        Table::new("Extension 2 (§4.5): scheduler replay avoidance", "app", &columns);
+    let mut table = Table::new("Extension 2 (§4.5): scheduler replay avoidance", "app", &columns);
     let w = labels.len();
     for (a, app) in apps.iter().enumerate() {
         let (base_cycles, base_replays) = outcomes[a * w];
@@ -143,8 +144,7 @@ pub fn distributed_table(params: RunParams) -> Table {
     let hier_cfg = HierarchyConfig::paper_five_level();
     let cpu_cfg = CpuConfig::paper_eight_way();
     let apps = profiles::all();
-    let placements =
-        [MnmPlacement::Parallel, MnmPlacement::Serial, MnmPlacement::Distributed];
+    let placements = [MnmPlacement::Parallel, MnmPlacement::Serial, MnmPlacement::Distributed];
 
     let jobs: Vec<(usize, usize)> =
         (0..apps.len()).flat_map(|a| (0..=placements.len()).map(move |p| (a, p))).collect();
@@ -157,10 +157,11 @@ pub fn distributed_table(params: RunParams) -> Table {
         run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &kind, params).cpu.cycles as f64
     });
 
-    let columns =
-        ["parallel red %", "serial red %", "distributed red %"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
-    let mut table =
-        Table::new("Ablation 6: HMNM4 cycle reduction by placement", "app", &columns);
+    let columns = ["parallel red %", "serial red %", "distributed red %"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect::<Vec<_>>();
+    let mut table = Table::new("Ablation 6: HMNM4 cycle reduction by placement", "app", &columns);
     let w = placements.len() + 1;
     for (a, app) in apps.iter().enumerate() {
         let base = cycles[a * w];

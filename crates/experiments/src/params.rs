@@ -1,9 +1,7 @@
 //! Shared run parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Instruction budgets for one application run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunParams {
     /// Instructions executed before statistics are reset (cache/MNM
     /// warmup, the reproduction's stand-in for the paper's SimPoint

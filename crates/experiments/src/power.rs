@@ -111,9 +111,8 @@ pub fn power_reduction_table(params: RunParams) -> Table {
     labels.extend(FIG15_CONFIGS.iter().map(|s| (*s).to_owned()));
     labels.push("Perfect".to_owned());
 
-    let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..labels.len()).map(move |c| (a, c)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..labels.len()).map(move |c| (a, c))).collect();
     let energies = parallel_run(jobs, |&(a, c)| {
         let kind = match ConfigKind::parse(&labels[c]) {
             ConfigKind::Mnm(cfg) => ConfigKind::Mnm(cfg.with_placement(MnmPlacement::Serial)),

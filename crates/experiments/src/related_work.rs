@@ -45,11 +45,8 @@ pub fn way_predicted_cache_energy_nj(
         let write = model.cache_write_energy(cfg);
         let assoc = f64::from(cfg.assoc);
         // Direct-mapped caches have nothing to predict.
-        let (cheap, expensive) = if cfg.assoc == 1 {
-            (st.probes, 0)
-        } else {
-            (st.mru_hits, st.probes - st.mru_hits)
-        };
+        let (cheap, expensive) =
+            if cfg.assoc == 1 { (st.probes, 0) } else { (st.mru_hits, st.probes - st.mru_hits) };
         total += cheap as f64 * read / assoc;
         total += expensive as f64 * read;
         total += st.fills as f64 * write;
@@ -185,8 +182,7 @@ mod tests {
             let stripped = AppRun { mnm: None, mnm_storage: Vec::new(), ..mnm_run.clone() };
             let mnm_cost = run_energy_nj(&mnm_run, &hier_cfg, &model)
                 - run_energy_nj(&stripped, &hier_cfg, &model);
-            let e_combined =
-                way_predicted_cache_energy_nj(&mnm_run, &hier_cfg, &model) + mnm_cost;
+            let e_combined = way_predicted_cache_energy_nj(&mnm_run, &hier_cfg, &model) + mnm_cost;
             (e_base, e_way, e_combined)
         };
         let (e_base, e_way, e_combined) = t;

@@ -68,12 +68,7 @@ impl Table {
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = Vec::new();
         widths.push(
-            self.rows
-                .iter()
-                .map(|(l, _)| l.len())
-                .chain([self.key.len()])
-                .max()
-                .unwrap_or(4),
+            self.rows.iter().map(|(l, _)| l.len()).chain([self.key.len()]).max().unwrap_or(4),
         );
         for (c, name) in self.columns.iter().enumerate() {
             let w = self
@@ -128,7 +123,7 @@ impl Table {
             let _ = writeln!(out, "{label}");
             for (c, v) in values.iter().enumerate() {
                 let len = ((v.abs() / max) * WIDTH).round() as usize;
-                let bar: String = std::iter::repeat('#').take(len).collect();
+                let bar = "#".repeat(len);
                 let sign = if *v < 0.0 { "-" } else { "" };
                 let _ = writeln!(
                     out,

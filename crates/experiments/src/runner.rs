@@ -1,9 +1,13 @@
 //! Per-application simulation drivers and the parallel job runner.
 
-use cache_sim::{Access, Hierarchy, HierarchyConfig, HierarchyStats};
-use mnm_core::{Mnm, MnmConfig, MnmStats};
+use std::sync::Mutex;
+
+use cache_sim::{
+    Access, AccessFilter, BypassSet, CacheEvent, Hierarchy, HierarchyConfig, HierarchyStats,
+    ProbeRecord, ReplaySession,
+};
+use mnm_core::{perfect_bypass, Mnm, MnmConfig, MnmStats};
 use ooo_model::{simulate, CpuConfig, CpuStats, MemPolicy};
-use parking_lot::Mutex;
 use trace_synth::{AppProfile, InstrKind, Program};
 
 use crate::params::{worker_threads, RunParams};
@@ -151,20 +155,31 @@ pub fn run_app_functional(
     let mut program = Program::new(profile.clone());
     // Mirrors the timed model's fetch behaviour exactly (including the
     // refetch after a mispredict and the fresh fetch block per phase) so
-    // functional and timed runs see identical reference streams.
-    let mut cur_block = u64::MAX;
+    // functional and timed runs see identical reference streams. The whole
+    // phase streams through one ReplaySession: scratch buffers are reused
+    // across every access, so the loop never allocates.
     let mut drive = |hierarchy: &mut Hierarchy, mnm: &mut Option<Mnm>, n: u64| {
-        cur_block = u64::MAX;
+        let filter = match (mnm, kind) {
+            (Some(m), _) => RunFilter::Mnm(m),
+            (None, ConfigKind::Perfect) => RunFilter::Perfect,
+            (None, _) => RunFilter::Baseline,
+        };
+        let mut session = ReplaySession::new(hierarchy, filter);
+        let mut cur_block = u64::MAX;
         let mut done = 0;
         for instr in &mut program {
             let block = instr.pc >> fetch_shift;
             if block != cur_block {
                 cur_block = block;
-                run_one(hierarchy, mnm, kind, Access::fetch(instr.pc));
+                session.step(Access::fetch(instr.pc));
             }
             match instr.kind {
-                InstrKind::Load { addr } => run_one(hierarchy, mnm, kind, Access::load(addr)),
-                InstrKind::Store { addr } => run_one(hierarchy, mnm, kind, Access::store(addr)),
+                InstrKind::Load { addr } => {
+                    session.step(Access::load(addr));
+                }
+                InstrKind::Store { addr } => {
+                    session.step(Access::store(addr));
+                }
                 InstrKind::Branch { mispredicted } => {
                     if mispredicted {
                         cur_block = u64::MAX;
@@ -189,17 +204,32 @@ pub fn run_app_functional(
     finish(profile, kind, hierarchy, mnm, CpuStats::default())
 }
 
-fn run_one(hierarchy: &mut Hierarchy, mnm: &mut Option<Mnm>, kind: &ConfigKind, access: Access) {
-    match (mnm, kind) {
-        (Some(m), _) => {
-            m.run_access(hierarchy, access);
+/// The three experiment configurations as one [`AccessFilter`], so every
+/// functional run drives the same [`ReplaySession`] loop.
+enum RunFilter<'a> {
+    Baseline,
+    Perfect,
+    Mnm(&'a mut Mnm),
+}
+
+impl AccessFilter for RunFilter<'_> {
+    fn query(&mut self, hierarchy: &Hierarchy, access: Access) -> BypassSet {
+        match self {
+            RunFilter::Baseline => BypassSet::none(),
+            RunFilter::Perfect => perfect_bypass(hierarchy, access),
+            RunFilter::Mnm(m) => Mnm::query(m, access),
         }
-        (None, ConfigKind::Perfect) => {
-            let bypass = mnm_core::perfect_bypass(hierarchy, access);
-            hierarchy.access(access, &bypass);
+    }
+
+    fn observe_events(&mut self, _hierarchy: &Hierarchy, events: &[CacheEvent]) {
+        if let RunFilter::Mnm(m) = self {
+            Mnm::observe_events(m, events);
         }
-        (None, _) => {
-            hierarchy.access(access, &cache_sim::BypassSet::none());
+    }
+
+    fn note_probes(&mut self, _access: Access, probes: &[ProbeRecord]) {
+        if let RunFilter::Mnm(m) = self {
+            Mnm::note_probes(m, probes);
         }
     }
 }
@@ -239,21 +269,25 @@ where
     let results_ref = &results;
     let workers = worker_threads().min(n.max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
                 let out = f_ref(&jobs_ref[idx]);
-                results_ref.lock()[idx] = Some(out);
+                results_ref.lock().expect("results lock poisoned")[idx] = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    results.into_inner().into_iter().map(|o| o.expect("job completed")).collect()
+    results
+        .into_inner()
+        .expect("results lock poisoned")
+        .into_iter()
+        .map(|o| o.expect("job completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -267,7 +301,13 @@ mod tests {
         let params = RunParams { warmup: 2_000, measure: 20_000 };
         let cfg = HierarchyConfig::paper_five_level();
         let f = run_app_functional(&profile, &cfg, &ConfigKind::Baseline, params);
-        let t = run_app_timed(&profile, &cfg, &CpuConfig::paper_eight_way(), &ConfigKind::Baseline, params);
+        let t = run_app_timed(
+            &profile,
+            &cfg,
+            &CpuConfig::paper_eight_way(),
+            &ConfigKind::Baseline,
+            params,
+        );
         // The same reference stream hits the same levels.
         assert_eq!(f.hierarchy.data_accesses, t.hierarchy.data_accesses);
         assert_eq!(f.hierarchy.supplies_by_level, t.hierarchy.supplies_by_level);

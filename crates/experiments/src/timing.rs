@@ -21,11 +21,11 @@ pub fn execution_reduction_table(params: RunParams) -> Table {
     labels.extend(FIG15_CONFIGS.iter().map(|s| (*s).to_owned()));
     labels.push("Perfect".to_owned());
 
-    let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..labels.len()).map(move |c| (a, c)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..labels.len()).map(move |c| (a, c))).collect();
     let cycles = parallel_run(jobs, |&(a, c)| {
-        let run = run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &ConfigKind::parse(&labels[c]), params);
+        let run =
+            run_app_timed(&apps[a], &hier_cfg, &cpu_cfg, &ConfigKind::parse(&labels[c]), params);
         run.cpu.cycles as f64
     });
 
@@ -110,8 +110,9 @@ mod tests {
         let app = profiles::by_name("181.mcf").unwrap();
         let base =
             run_app_timed(&app, &hier_cfg, &cpu_cfg, &ConfigKind::Baseline, params).cpu.cycles;
-        let hmnm =
-            run_app_timed(&app, &hier_cfg, &cpu_cfg, &ConfigKind::parse("HMNM4"), params).cpu.cycles;
+        let hmnm = run_app_timed(&app, &hier_cfg, &cpu_cfg, &ConfigKind::parse("HMNM4"), params)
+            .cpu
+            .cycles;
         let perfect =
             run_app_timed(&app, &hier_cfg, &cpu_cfg, &ConfigKind::Perfect, params).cpu.cycles;
         assert!(hmnm <= base, "parallel MNM can only help: {hmnm} vs {base}");

@@ -1,12 +1,11 @@
 //! Turning simulation counters into energy totals.
 
 use cache_sim::{AccessKind, Hierarchy};
-use serde::{Deserialize, Serialize};
 
 use crate::cacti::EnergyModel;
 
 /// Energy totals for one cache structure, in nJ.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StructureEnergy {
     /// Structure name ("dl1", "ul3", ...).
     pub name: String,
@@ -30,7 +29,7 @@ impl StructureEnergy {
 }
 
 /// Energy breakdown of a whole cache system after a simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheEnergyBreakdown {
     /// Per-structure totals.
     pub structures: Vec<StructureEnergy>,

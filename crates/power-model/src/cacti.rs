@@ -1,11 +1,10 @@
 //! CACTI-style component energy model.
 
 use cache_sim::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Per-component energy constants, in nanojoules. Defaults approximate a
 /// 0.18 µm process (the CACTI 3.1 era of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Decoder energy per address bit decoded.
     pub decode_nj_per_bit: f64,
@@ -65,13 +64,13 @@ impl EnergyModel {
         let mut r = rows.max(1);
         let mut c = cols.max(1);
         // Fold tall arrays into wider ones.
-        while r > self.max_subarray_rows && r % 2 == 0 {
+        while r > self.max_subarray_rows && r.is_multiple_of(2) {
             r /= 2;
             c *= 2;
         }
         // Split wide arrays into subarrays; only one is activated, the
         // rest cost routing.
-        while c > self.max_subarray_cols && c % 2 == 0 {
+        while c > self.max_subarray_cols && c.is_multiple_of(2) {
             c /= 2;
         }
         let index_bits = (64 - rows.max(2).leading_zeros()) as f64;
@@ -114,7 +113,8 @@ impl EnergyModel {
             return 0.0;
         }
         let side = (bits as f64).sqrt().ceil() as u64;
-        self.small_array_activation * self.array_read_energy(side.max(1), bits.div_ceil(side.max(1)))
+        self.small_array_activation
+            * self.array_read_energy(side.max(1), bits.div_ceil(side.max(1)))
     }
 
     /// Dynamic energy (nJ) of one SMNM checker evaluation: `ffs` flip-flops

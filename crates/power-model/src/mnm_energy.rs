@@ -1,12 +1,11 @@
 //! Energy costing of the MNM structures themselves.
 
 use mnm_core::{Mnm, MnmPlacement};
-use serde::{Deserialize, Serialize};
 
 use crate::cacti::EnergyModel;
 
 /// Energy totals for a Mostly No Machine, in nJ.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MnmEnergy {
     /// Energy of all definite-miss queries.
     pub query_nj: f64,
@@ -61,10 +60,7 @@ pub fn mnm_total_energy(mnm: &Mnm, model: &EnergyModel, l1_miss_accesses: u64) -
     let components = mnm.storage().len().max(1) as f64;
     let per_update = per_query / components;
     let updates: u64 = mnm.stats().slots.iter().map(|s| s.updates).sum();
-    MnmEnergy {
-        query_nj: queries as f64 * per_query,
-        update_nj: updates as f64 * per_update,
-    }
+    MnmEnergy { query_nj: queries as f64 * per_query, update_nj: updates as f64 * per_update }
 }
 
 #[cfg(test)]

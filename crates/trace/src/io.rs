@@ -8,8 +8,6 @@
 use std::fmt;
 use std::io::{Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::record::{Instr, InstrKind};
 
 const MAGIC: &[u8; 4] = b"JSNT";
@@ -68,36 +66,23 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = Instr>>(
     mut writer: W,
     instrs: I,
 ) -> Result<u64, TraceIoError> {
-    let mut buf = BytesMut::with_capacity(64 * 1024);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    let mut buf = Vec::with_capacity(64 * 1024);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     let mut count = 0u64;
     for i in instrs {
-        buf.put_u64_le(i.pc);
-        buf.put_u8(i.src1);
-        buf.put_u8(i.src2);
-        match i.kind {
-            InstrKind::Op { latency } => {
-                buf.put_u8(TAG_OP);
-                buf.put_u8(latency);
-                buf.put_u64_le(0);
-            }
-            InstrKind::Load { addr } => {
-                buf.put_u8(TAG_LOAD);
-                buf.put_u8(0);
-                buf.put_u64_le(addr);
-            }
-            InstrKind::Store { addr } => {
-                buf.put_u8(TAG_STORE);
-                buf.put_u8(0);
-                buf.put_u64_le(addr);
-            }
-            InstrKind::Branch { mispredicted } => {
-                buf.put_u8(TAG_BRANCH);
-                buf.put_u8(u8::from(mispredicted));
-                buf.put_u64_le(0);
-            }
-        }
+        buf.extend_from_slice(&i.pc.to_le_bytes());
+        buf.push(i.src1);
+        buf.push(i.src2);
+        let (tag, aux, addr) = match i.kind {
+            InstrKind::Op { latency } => (TAG_OP, latency, 0),
+            InstrKind::Load { addr } => (TAG_LOAD, 0, addr),
+            InstrKind::Store { addr } => (TAG_STORE, 0, addr),
+            InstrKind::Branch { mispredicted } => (TAG_BRANCH, u8::from(mispredicted), 0),
+        };
+        buf.push(tag);
+        buf.push(aux);
+        buf.extend_from_slice(&addr.to_le_bytes());
         count += 1;
         if buf.len() >= 60 * 1024 {
             writer.write_all(&buf)?;
@@ -118,28 +103,26 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = Instr>>(
 pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<Instr>, TraceIoError> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
-    if buf.remaining() < 6 {
+    if raw.len() < 6 {
         return Err(TraceIoError::BadHeader);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC || buf.get_u16_le() != VERSION {
+    if &raw[..4] != MAGIC || u16::from_le_bytes([raw[4], raw[5]]) != VERSION {
         return Err(TraceIoError::BadHeader);
     }
+    let payload = &raw[6..];
 
     const RECORD: usize = 8 + 1 + 1 + 1 + 1 + 8;
-    let mut out = Vec::with_capacity(buf.remaining() / RECORD);
-    while buf.has_remaining() {
-        if buf.remaining() < RECORD {
-            return Err(TraceIoError::Truncated);
-        }
-        let pc = buf.get_u64_le();
-        let src1 = buf.get_u8();
-        let src2 = buf.get_u8();
-        let tag = buf.get_u8();
-        let aux = buf.get_u8();
-        let addr = buf.get_u64_le();
+    if payload.len() % RECORD != 0 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut out = Vec::with_capacity(payload.len() / RECORD);
+    for rec in payload.chunks_exact(RECORD) {
+        let pc = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let src1 = rec[8];
+        let src2 = rec[9];
+        let tag = rec[10];
+        let aux = rec[11];
+        let addr = u64::from_le_bytes(rec[12..20].try_into().unwrap());
         let kind = match tag {
             TAG_OP => InstrKind::Op { latency: aux },
             TAG_LOAD => InstrKind::Load { addr },

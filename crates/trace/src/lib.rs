@@ -40,12 +40,14 @@ mod io;
 mod program;
 mod record;
 mod regions;
+mod rng;
 mod stats;
 
 pub mod profiles;
 
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use program::{AppCategory, AppProfile, PhaseDrift, Program, RegionSpec};
-pub use stats::{characterize, TraceStats};
 pub use record::{Instr, InstrKind};
 pub use regions::{Region, RegionKind};
+pub use rng::Prng;
+pub use stats::{characterize, TraceStats};

@@ -18,6 +18,9 @@
 //! substitution preserves the spread of per-level hit rates, which is what
 //! the MNM coverage and benefit results depend on.
 
+// The region tables below deliberately write sizes as `N * KB` for column
+// alignment, including `1 * KB`.
+#![allow(clippy::identity_op)]
 use crate::program::{AppCategory, AppProfile, RegionSpec};
 use crate::regions::RegionKind;
 
@@ -263,11 +266,7 @@ pub fn all() -> Vec<AppProfile> {
             40,
             (0.88, 0.04, 22),
             0.45,
-            vec![
-                region(stride(8), 4 * MB, 7),
-                region(Random, 512 * KB, 1),
-                region(Hot, 2 * KB, 4),
-            ],
+            vec![region(stride(8), 4 * MB, 7), region(Random, 512 * KB, 1), region(Hot, 2 * KB, 4)],
         ),
         profile(
             "177.mesa",
@@ -338,7 +337,11 @@ pub fn all() -> Vec<AppProfile> {
             8,
             (0.93, 0.02, 28),
             0.40,
-            vec![region(stride(8), 16 * MB, 6), region(stride(512), 8 * MB, 1), region(Hot, 1 * KB, 4)],
+            vec![
+                region(stride(8), 16 * MB, 6),
+                region(stride(512), 8 * MB, 1),
+                region(Hot, 1 * KB, 4),
+            ],
         ),
         profile(
             "301.apsi",
@@ -349,11 +352,7 @@ pub fn all() -> Vec<AppProfile> {
             512,
             (0.52, 0.40, 10),
             0.45,
-            vec![
-                region(stride(8), 1 * MB, 5),
-                region(Random, 256 * KB, 2),
-                region(Hot, 2 * KB, 8),
-            ],
+            vec![region(stride(8), 1 * MB, 5), region(Random, 256 * KB, 2), region(Hot, 2 * KB, 8)],
         ),
     ]
 }

@@ -1,11 +1,8 @@
 //! The synthetic program generator.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use crate::record::{Instr, InstrKind};
 use crate::regions::{Region, RegionKind};
+use crate::rng::Prng;
 
 /// Base address where synthetic code is laid out.
 pub const CODE_BASE: u64 = 0x0040_0000;
@@ -18,7 +15,7 @@ const REGION_GAP: u64 = 64 * 1024;
 /// regions are re-based `drift_bytes` further up the address space,
 /// modelling allocation-driven phase changes (each program phase works on
 /// freshly allocated data). Stationary profiles leave this unset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseDrift {
     /// Instructions per phase.
     pub period: u64,
@@ -27,7 +24,7 @@ pub struct PhaseDrift {
 }
 
 /// SPEC CPU2000 suite half.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppCategory {
     /// CINT2000-like.
     Integer,
@@ -36,7 +33,7 @@ pub enum AppCategory {
 }
 
 /// A weighted data region in a profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionSpec {
     /// Locality model.
     pub kind: RegionKind,
@@ -49,7 +46,7 @@ pub struct RegionSpec {
 /// Everything that defines one synthetic application.
 ///
 /// See the crate docs for how profiles substitute for SPEC2000 binaries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Display name ("181.mcf", ...).
     pub name: String,
@@ -143,7 +140,7 @@ impl AppProfile {
 #[derive(Debug, Clone)]
 pub struct Program {
     profile: AppProfile,
-    rng: SmallRng,
+    rng: Prng,
     regions: Vec<Region>,
     cumulative_weights: Vec<u32>,
     total_weight: u32,
@@ -159,7 +156,7 @@ impl Program {
     /// Panics if the profile fails [`AppProfile::validate`].
     pub fn new(profile: AppProfile) -> Self {
         profile.validate().expect("invalid application profile");
-        let rng = SmallRng::seed_from_u64(profile.seed);
+        let rng = Prng::seed_from_u64(profile.seed);
         let mut base = DATA_BASE;
         let mut regions = Vec::with_capacity(profile.regions.len());
         let mut cumulative_weights = Vec::with_capacity(profile.regions.len());
@@ -192,15 +189,15 @@ impl Program {
     }
 
     fn pick_region(&mut self) -> usize {
-        let draw = self.rng.gen_range(0..self.total_weight);
+        let draw = self.rng.gen_range(0..u64::from(self.total_weight)) as u32;
         self.cumulative_weights.partition_point(|&c| c <= draw)
     }
 
     fn deps(&mut self) -> (u8, u8) {
-        let draw = |p: f64, rng: &mut SmallRng| -> u8 {
+        let draw = |p: f64, rng: &mut Prng| -> u8 {
             if rng.gen_bool(p) {
                 // Geometric-ish short distances: most values are small.
-                let r: f64 = rng.gen();
+                let r: f64 = rng.gen_f64();
                 (1.0 + (-r.ln()) * 2.5).min(15.0) as u8
             } else {
                 0
@@ -226,11 +223,15 @@ impl Program {
 
     fn next_pc_after_branch(&mut self) -> u64 {
         let footprint = self.profile.code_footprint;
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.gen_f64();
         if r < self.profile.loop_backedge_prob {
             // Loop back ~one body length (jittered).
             let body = self.profile.avg_loop_body.max(2);
-            let dist = self.rng.gen_range(body / 2..=body + body / 2).max(1) as u64 * 4;
+            let dist = self
+                .rng
+                .gen_range_inclusive(u64::from(body / 2)..=u64::from(body + body / 2))
+                .max(1)
+                * 4;
             self.pc.saturating_sub(dist).max(CODE_BASE)
         } else if r < self.profile.loop_backedge_prob + self.profile.call_prob {
             // Jump to a random 64-byte-aligned function entry.
@@ -243,7 +244,7 @@ impl Program {
 
     fn step(&mut self) -> Instr {
         if let Some(drift) = self.profile.phase_drift {
-            if self.emitted > 0 && self.emitted % drift.period == 0 {
+            if self.emitted > 0 && self.emitted.is_multiple_of(drift.period) {
                 self.enter_next_phase(drift.drift_bytes);
             }
         }
@@ -253,7 +254,7 @@ impl Program {
             self.pc = CODE_BASE;
         }
 
-        let draw: f64 = self.rng.gen();
+        let draw: f64 = self.rng.gen_f64();
         let (load_f, store_f, branch_f, fp_f, mispredict) = (
             self.profile.load_frac,
             self.profile.store_frac,
@@ -277,9 +278,9 @@ impl Program {
             let long = self.rng.gen_bool(0.1);
             let latency = match (fp, long) {
                 (false, false) => 1,
-                (false, true) => 3,  // integer multiply
-                (true, false) => 4,  // FP add/mul pipeline
-                (true, true) => 12,  // FP divide
+                (false, true) => 3, // integer multiply
+                (true, false) => 4, // FP add/mul pipeline
+                (true, true) => 12, // FP divide
             };
             InstrKind::Op { latency }
         };
@@ -345,9 +346,12 @@ mod tests {
     fn mix_matches_fractions() {
         let instrs: Vec<_> = Program::new(test_profile()).take(100_000).collect();
         let n = instrs.len() as f64;
-        let loads = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Load { .. })).count() as f64;
-        let stores = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Store { .. })).count() as f64;
-        let branches = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Branch { .. })).count() as f64;
+        let loads =
+            instrs.iter().filter(|i| matches!(i.kind, InstrKind::Load { .. })).count() as f64;
+        let stores =
+            instrs.iter().filter(|i| matches!(i.kind, InstrKind::Store { .. })).count() as f64;
+        let branches =
+            instrs.iter().filter(|i| matches!(i.kind, InstrKind::Branch { .. })).count() as f64;
         assert!((loads / n - 0.3).abs() < 0.02, "load fraction {}", loads / n);
         assert!((stores / n - 0.1).abs() < 0.02);
         assert!((branches / n - 0.15).abs() < 0.02);
@@ -379,10 +383,8 @@ mod tests {
     #[test]
     fn code_locality_repeats_blocks() {
         // Loops mean the same 32-byte fetch blocks recur heavily.
-        let blocks: Vec<u64> = Program::new(test_profile())
-            .take(20_000)
-            .map(|i| i.pc >> 5)
-            .collect();
+        let blocks: Vec<u64> =
+            Program::new(test_profile()).take(20_000).map(|i| i.pc >> 5).collect();
         let distinct: std::collections::HashSet<_> = blocks.iter().collect();
         assert!(distinct.len() < blocks.len() / 10, "{} distinct blocks", distinct.len());
     }
@@ -407,11 +409,7 @@ mod tests {
         let mut p = test_profile();
         p.phase_drift = Some(PhaseDrift { period: 5_000, drift_bytes: 1 << 22 });
         let blocks = |profile: AppProfile, n: usize| -> std::collections::HashSet<u64> {
-            Program::new(profile)
-                .take(n)
-                .filter_map(|i| i.data_addr())
-                .map(|a| a >> 5)
-                .collect()
+            Program::new(profile).take(n).filter_map(|i| i.data_addr()).map(|a| a >> 5).collect()
         };
         let stationary = blocks(test_profile(), 40_000);
         let drifting = blocks(p, 40_000);

@@ -1,9 +1,7 @@
 //! Trace record types.
 
-use serde::{Deserialize, Serialize};
-
 /// The dynamic behaviour of one instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstrKind {
     /// A computational instruction with the given execute latency in
     /// cycles (1 = simple ALU, 3 = multiply, 12 = FP divide, ...).
@@ -31,7 +29,7 @@ pub enum InstrKind {
 }
 
 /// One dynamic instruction in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instr {
     /// Instruction address (drives the I-side cache path).
     pub pc: u64,

@@ -15,12 +15,10 @@
 //! * [`RegionKind::Random`] — independent uniform references; worst case
 //!   for every level smaller than the region.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::Prng;
 
 /// The access pattern of a region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {
     /// Heavy reuse of the whole (small) region, uniformly.
     Hot,
@@ -81,7 +79,7 @@ impl Region {
     }
 
     /// Produce the next effective address (8-byte aligned).
-    pub fn next_addr(&mut self, rng: &mut SmallRng) -> u64 {
+    pub fn next_addr(&mut self, rng: &mut Prng) -> u64 {
         let offset = match self.kind {
             RegionKind::Hot | RegionKind::Random => rng.gen_range(0..self.size),
             RegionKind::Strided { stride } => {
@@ -95,7 +93,10 @@ impl Region {
                 // modulo a power of two, giving a full reuse distance with
                 // zero spatial locality.
                 let nodes = (self.size / 64).next_power_of_two().max(2);
-                self.cursor = (self.cursor.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                self.cursor = (self
+                    .cursor
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
                     & (nodes - 1);
                 (self.cursor * 64) % self.size
             }
@@ -107,10 +108,8 @@ impl Region {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> Prng {
+        Prng::seed_from_u64(7)
     }
 
     #[test]

@@ -7,12 +7,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::{Instr, InstrKind};
 
 /// Summary statistics of a trace window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Instructions examined.
     pub instructions: u64,
@@ -186,13 +184,8 @@ mod tests {
         // A B B B A: A's reuse distance is 1 (only B between), despite 3
         // intervening references.
         let stats = characterize(vec![load(0), load(64), load(64), load(64), load(0)]);
-        let nonzero: Vec<(usize, u64)> = stats
-            .reuse_histogram
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(_, c)| *c > 0)
-            .collect();
+        let nonzero: Vec<(usize, u64)> =
+            stats.reuse_histogram.iter().copied().enumerate().filter(|(_, c)| *c > 0).collect();
         // B→B→B are distance-0 reuses (bucket 0), A's reuse is distance 1.
         assert_eq!(nonzero, vec![(0, 2), (1, 1)]);
     }
@@ -210,9 +203,8 @@ mod tests {
 
     #[test]
     fn profiles_show_expected_locality_contrast() {
-        let stat = |name: &str| {
-            characterize(Program::new(profiles::by_name(name).unwrap()).take(60_000))
-        };
+        let stat =
+            |name: &str| characterize(Program::new(profiles::by_name(name).unwrap()).take(60_000));
         let gzip = stat("164.gzip");
         let mcf = stat("181.mcf");
         assert!(mcf.data_blocks > 3 * gzip.data_blocks, "mcf touches far more blocks");

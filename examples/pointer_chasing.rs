@@ -23,7 +23,13 @@ fn run(label: &str, mut policy_for: impl FnMut(&Hierarchy) -> Policy) -> u64 {
             simulate(&cpu, &mut hier, MemPolicy::Baseline, Program::new(profile), INSTRUCTIONS)
         }
         Policy::Hmnm(mut mnm) => {
-            let s = simulate(&cpu, &mut hier, MemPolicy::Mnm(&mut mnm), Program::new(profile), INSTRUCTIONS);
+            let s = simulate(
+                &cpu,
+                &mut hier,
+                MemPolicy::Mnm(&mut mnm),
+                Program::new(profile),
+                INSTRUCTIONS,
+            );
             println!("  [{label}] coverage: {:.1}%", mnm.stats().coverage() * 100.0);
             s
         }
@@ -40,6 +46,7 @@ fn run(label: &str, mut policy_for: impl FnMut(&Hierarchy) -> Policy) -> u64 {
     stats.cycles
 }
 
+#[allow(clippy::large_enum_variant)] // example-local, one instance lives on the stack
 enum Policy {
     Baseline,
     Hmnm(Mnm),
@@ -54,5 +61,8 @@ fn main() {
 
     println!();
     println!("HMNM4 cycle reduction:   {:.1}%", 100.0 * (base - hmnm) as f64 / base as f64);
-    println!("perfect cycle reduction: {:.1}% (upper bound)", 100.0 * (base - perfect) as f64 / base as f64);
+    println!(
+        "perfect cycle reduction: {:.1}% (upper bound)",
+        100.0 * (base - perfect) as f64 / base as f64
+    );
 }

@@ -11,8 +11,11 @@ fn drive(hier: &mut Hierarchy, mnm: Option<&mut Mnm>, n: usize) {
     let mut mnm = mnm;
     for instr in Program::new(profile).take(n) {
         if let Some(addr) = instr.data_addr() {
-            let access =
-                if matches!(instr.kind, InstrKind::Store { .. }) { Access::store(addr) } else { Access::load(addr) };
+            let access = if matches!(instr.kind, InstrKind::Store { .. }) {
+                Access::store(addr)
+            } else {
+                Access::load(addr)
+            };
             match &mut mnm {
                 Some(m) => {
                     m.run_access(hier, access);

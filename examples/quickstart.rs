@@ -23,8 +23,11 @@ fn main() {
     let program = Program::new(profile);
     for instr in program.take(400_000) {
         if let Some(addr) = instr.data_addr() {
-            let access =
-                if matches!(instr.kind, InstrKind::Store { .. }) { Access::store(addr) } else { Access::load(addr) };
+            let access = if matches!(instr.kind, InstrKind::Store { .. }) {
+                Access::store(addr)
+            } else {
+                Access::load(addr)
+            };
             plain.access(access, &BypassSet::none());
             mnm.run_access(&mut guarded, access);
         }

@@ -36,7 +36,10 @@ fn run(app: &str, filtered: bool) -> (f64, f64, u64) {
 }
 
 fn main() {
-    println!("{:<12}{:>18}{:>16}{:>12}", "app", "L2 lookups skipped", "mean lat [cyc]", "page walks");
+    println!(
+        "{:<12}{:>18}{:>16}{:>12}",
+        "app", "L2 lookups skipped", "mean lat [cyc]", "page walks"
+    );
     for app in ["164.gzip", "181.mcf", "171.swim", "179.art"] {
         let (_, base_lat, base_walks) = run(app, false);
         let (skipped, filt_lat, walks) = run(app, true);

@@ -106,10 +106,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
     let mut mnm = match label {
         "Baseline" | "Perfect" => None,
-        other => Some(Mnm::new(
-            &hier,
-            MnmConfig::parse(other).map_err(|e| e.to_string())?,
-        )),
+        other => Some(Mnm::new(&hier, MnmConfig::parse(other).map_err(|e| e.to_string())?)),
     };
 
     if timed {
@@ -151,10 +148,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         println!("app: {app}   config: {label}   data accesses: {}", hier.stats().accesses);
         println!("mean data access time: {:.2} cycles", hier.stats().mean_access_time());
-        println!(
-            "miss-time fraction: {:.1}%",
-            hier.stats().miss_time_fraction() * 100.0
-        );
+        println!("miss-time fraction: {:.1}%", hier.stats().miss_time_fraction() * 100.0);
     }
 
     if let Some(m) = &mnm {
@@ -181,8 +175,7 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
     println!("{:<14}{:>10}", "config", "coverage");
     for label in labels {
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
-        let mut mnm =
-            Mnm::new(&hier, MnmConfig::parse(label).map_err(|e| e.to_string())?);
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse(label).map_err(|e| e.to_string())?);
         for instr in Program::new(profile.clone()).take(DEFAULT_INSTRUCTIONS as usize) {
             if let Some(addr) = instr.data_addr() {
                 mnm.run_access(&mut hier, Access::load(addr));
@@ -202,8 +195,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let instrs: Vec<Instr> = Program::new(profile.clone()).take(n as usize).collect();
     let stats = characterize(instrs.iter().copied());
     let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    let written = write_trace(std::io::BufWriter::new(file), instrs.into_iter())
-        .map_err(|e| e.to_string())?;
+    let written = write_trace(std::io::BufWriter::new(file), instrs).map_err(|e| e.to_string())?;
     println!(
         "wrote {written} instructions of {app} to {path} ({} KB data / {} KB code footprint)",
         stats.data_footprint_bytes() / 1024,

@@ -26,10 +26,7 @@ fn adding_rmnm_never_reduces_coverage() {
         with_rmnm.rmnm = Some(RmnmConfig::new(2048, 4));
         let alone = run_coverage(tmnm_only, app, 40_000);
         let combined = run_coverage(with_rmnm, app, 40_000);
-        assert!(
-            combined >= alone - 1e-12,
-            "{app}: TMNM+RMNM {combined} < TMNM {alone}"
-        );
+        assert!(combined >= alone - 1e-12, "{app}: TMNM+RMNM {combined} < TMNM {alone}");
     }
 }
 
@@ -59,10 +56,7 @@ fn wider_tmnm_tables_dominate() {
     for app in ["197.parser", "183.equake"] {
         let narrow = run_coverage(MnmConfig::parse("TMNM_8x1").unwrap(), app, 40_000);
         let wide = run_coverage(MnmConfig::parse("TMNM_14x1").unwrap(), app, 40_000);
-        assert!(
-            wide >= narrow - 0.02,
-            "{app}: wider table lost coverage: {wide} vs {narrow}"
-        );
+        assert!(wide >= narrow - 0.02, "{app}: wider table lost coverage: {wide} vs {narrow}");
     }
 }
 

@@ -105,7 +105,13 @@ fn all_twenty_profiles_run_through_the_full_stack() {
     for profile in profiles::all() {
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
         let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(1));
-        let s = simulate(&cpu, &mut hier, MemPolicy::Mnm(&mut mnm), Program::new(profile.clone()), 5_000);
+        let s = simulate(
+            &cpu,
+            &mut hier,
+            MemPolicy::Mnm(&mut mnm),
+            Program::new(profile.clone()),
+            5_000,
+        );
         assert_eq!(s.instructions, 5_000, "{}", profile.name);
         assert!(s.cycles > 0, "{}", profile.name);
     }
@@ -116,10 +122,12 @@ fn mnm_delay_only_hurts_serial_placement() {
     let profile = profiles::by_name("164.gzip").unwrap();
     let cycles_with_delay = |placement: MnmPlacement, delay: u64| {
         let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
-        let cfg = MnmConfig::parse("TMNM_10x1").unwrap().with_placement(placement).with_delay(delay);
+        let cfg =
+            MnmConfig::parse("TMNM_10x1").unwrap().with_placement(placement).with_delay(delay);
         let mut mnm = Mnm::new(&hier, cfg);
         let cpu = CpuConfig::paper_eight_way();
-        simulate(&cpu, &mut hier, MemPolicy::Mnm(&mut mnm), Program::new(profile.clone()), 20_000).cycles
+        simulate(&cpu, &mut hier, MemPolicy::Mnm(&mut mnm), Program::new(profile.clone()), 20_000)
+            .cycles
     };
     assert_eq!(
         cycles_with_delay(MnmPlacement::Parallel, 2),

@@ -1,11 +1,53 @@
 //! The paper's central correctness property (§3.6): an MNM **never**
-//! incorrectly indicates a miss. Property-based tests drive every
-//! technique with randomized traces over aliasing-heavy address spaces;
-//! the hierarchy's debug assertions verify every single bypass against
-//! actual cache contents, and we re-verify through the public API here.
+//! incorrectly indicates a miss. Deterministic seeded sweeps (formerly
+//! proptest) drive every technique with randomized traces over
+//! aliasing-heavy address spaces; the hierarchy's debug assertions verify
+//! every single bypass against actual cache contents, and we re-verify
+//! through the public API here.
 
+use cache_sim::{ProbeOutcome, ReplayScratch};
 use just_say_no::prelude::*;
-use proptest::prelude::*;
+
+const CONFIGS: [&str; 10] = [
+    "RMNM_128_1",
+    "RMNM_512_2",
+    "SMNM_10x2",
+    "SMNM_13x2",
+    "TMNM_10x1",
+    "TMNM_12x3",
+    "CMNM_2_9",
+    "CMNM_8_12",
+    "HMNM1",
+    "HMNM4",
+];
+
+/// Minimal deterministic generator for test inputs (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A random access within a tight (conflict-heavy) arena.
+    fn access(&mut self) -> Access {
+        let addr = (self.next() % 0x8000) & !0x3;
+        match self.next() % 3 {
+            0 => Access::load(addr),
+            1 => Access::store(addr),
+            _ => Access::fetch(addr),
+        }
+    }
+
+    fn trace(&mut self, max_len: u64) -> Vec<Access> {
+        let n = 1 + self.next() % max_len;
+        (0..n).map(|_| self.access()).collect()
+    }
+}
 
 fn tiny_hierarchy() -> Hierarchy {
     Hierarchy::new(HierarchyConfig {
@@ -25,128 +67,100 @@ fn tiny_hierarchy() -> Hierarchy {
     })
 }
 
-/// A randomized access: address within a tight (conflict-heavy) arena plus
-/// a kind selector.
-fn accesses(max_len: usize) -> impl Strategy<Value = Vec<(u32, u8)>> {
-    proptest::collection::vec((0u32..0x8000, 0u8..3), 1..max_len)
-}
-
-fn config_strategy() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("RMNM_128_1".to_owned()),
-        Just("RMNM_512_2".to_owned()),
-        Just("SMNM_10x2".to_owned()),
-        Just("SMNM_13x2".to_owned()),
-        Just("TMNM_10x1".to_owned()),
-        Just("TMNM_12x3".to_owned()),
-        Just("CMNM_2_9".to_owned()),
-        Just("CMNM_8_12".to_owned()),
-        Just("HMNM1".to_owned()),
-        Just("HMNM4".to_owned()),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every flagged structure is genuinely missing the block, for every
-    /// technique, on every prefix of every random trace.
-    #[test]
-    fn no_technique_ever_flags_a_resident_block(
-        trace in accesses(600),
-        config in config_strategy(),
-    ) {
+/// Every flagged structure is genuinely missing the block, for every
+/// technique, on every prefix of every random trace.
+#[test]
+fn no_technique_ever_flags_a_resident_block() {
+    let mut gen = Gen(0x50124D);
+    for case in 0..48u64 {
+        let config = CONFIGS[(case % CONFIGS.len() as u64) as usize];
+        let trace = gen.trace(600);
         let mut hier = tiny_hierarchy();
-        let mut mnm = Mnm::new(&hier, MnmConfig::parse(&config).unwrap());
-        for &(raw, kind) in &trace {
-            let addr = u64::from(raw) & !0x3;
-            let access = match kind {
-                0 => Access::load(addr),
-                1 => Access::store(addr),
-                _ => Access::fetch(addr),
-            };
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse(config).unwrap());
+        for &access in &trace {
             // Manually verify the query against cache contents before
             // letting the hierarchy (whose debug_asserts double-check)
             // consume the bypass set.
             let bypass = mnm.query(access);
             for info in hier.structures() {
                 if bypass.contains(info.id) {
-                    prop_assert!(
-                        !hier.contains(info.id, addr),
-                        "{} flagged {} which holds {addr:#x}",
+                    assert!(
+                        !hier.contains(info.id, access.addr),
+                        "{} flagged {} which holds {:#x}",
                         config,
-                        info.name
+                        info.name,
+                        access.addr
                     );
                 }
             }
             mnm.run_access(&mut hier, access);
         }
     }
+}
 
-    /// Bypassing never changes where data is found or what gets cached:
-    /// an MNM-guarded run supplies every access from the same level as an
-    /// unguarded run of the same trace.
-    #[test]
-    fn bypassing_is_functionally_invisible(
-        trace in accesses(400),
-        config in config_strategy(),
-    ) {
+/// Bypassing never changes where data is found or what gets cached:
+/// an MNM-guarded run supplies every access from the same level as an
+/// unguarded run of the same trace. This is the "sound bypass sets are
+/// functionally invisible" property: any sound `BypassSet` only removes
+/// probes of structures that would have missed anyway.
+#[test]
+fn bypassing_is_functionally_invisible() {
+    let mut gen = Gen(0x14715);
+    for case in 0..48u64 {
+        let config = CONFIGS[(case % CONFIGS.len() as u64) as usize];
+        let trace = gen.trace(400);
         let mut plain = tiny_hierarchy();
         let mut guarded = tiny_hierarchy();
-        let mut mnm = Mnm::new(&guarded, MnmConfig::parse(&config).unwrap());
-        for &(raw, kind) in &trace {
-            let addr = u64::from(raw) & !0x3;
-            let access = match kind {
-                0 => Access::load(addr),
-                1 => Access::store(addr),
-                _ => Access::fetch(addr),
-            };
+        let mut mnm = Mnm::new(&guarded, MnmConfig::parse(config).unwrap());
+        for &access in &trace {
             let a = plain.access(access, &BypassSet::none());
             let b = mnm.run_access(&mut guarded, access);
-            prop_assert_eq!(a.supply_level, b.supply_level, "divergence at {:#x}", addr);
-            prop_assert!(b.latency <= a.latency, "a bypass may only shorten the walk");
+            assert_eq!(a.supply_level, b.supply_level, "divergence at {:#x}", access.addr);
+            assert!(b.latency <= a.latency, "a bypass may only shorten the walk");
         }
-        prop_assert_eq!(plain.stats().supplies_by_level.clone(),
-                        guarded.stats().supplies_by_level.clone());
+        assert_eq!(plain.stats().supplies_by_level, guarded.stats().supplies_by_level);
     }
+}
 
-    /// The perfect oracle is sound and complete: after bypassing, the only
-    /// probed misses left are L1 misses.
-    #[test]
-    fn perfect_oracle_is_exact(trace in accesses(400)) {
+/// The perfect oracle is sound and complete: after bypassing, the only
+/// probed misses left are L1 misses.
+#[test]
+fn perfect_oracle_is_exact() {
+    let mut gen = Gen(0x0124C1E);
+    for _ in 0..48 {
+        let trace = gen.trace(400);
         let mut hier = tiny_hierarchy();
-        for &(raw, kind) in &trace {
-            let addr = u64::from(raw) & !0x3;
-            let access = match kind {
-                0 => Access::load(addr),
-                1 => Access::store(addr),
-                _ => Access::fetch(addr),
-            };
+        let mut scratch = ReplayScratch::new();
+        for &access in &trace {
             let bypass = perfect_bypass(&hier, access);
-            let r = hier.access(access, &bypass);
-            let non_l1_misses = r
-                .probes
+            hier.access_with_events(access, &bypass, &mut scratch);
+            let non_l1_misses = scratch
+                .probes()
                 .iter()
-                .filter(|p| p.level > 1 && p.outcome == cache_sim::ProbeOutcome::Miss)
+                .filter(|p| p.level > 1 && p.outcome == ProbeOutcome::Miss)
                 .count();
-            prop_assert_eq!(non_l1_misses, 0, "perfect bypass left a probed miss");
+            assert_eq!(non_l1_misses, 0, "perfect bypass left a probed miss");
         }
     }
+}
 
-    /// Flushing both sides resets to a consistent (all-cold) state.
-    #[test]
-    fn flush_restores_consistency(trace in accesses(200)) {
+/// Flushing both sides resets to a consistent (all-cold) state.
+#[test]
+fn flush_restores_consistency() {
+    let mut gen = Gen(0xF1054);
+    for _ in 0..48 {
+        let trace = gen.trace(200);
         let mut hier = tiny_hierarchy();
         let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(2));
-        for &(raw, _) in &trace {
-            mnm.run_access(&mut hier, Access::load(u64::from(raw)));
+        for &access in &trace {
+            mnm.run_access(&mut hier, Access::load(access.addr));
         }
         hier.flush();
         mnm.flush();
         // Every non-L1 level is flagged cold again, and the run stays sound.
-        for &(raw, _) in &trace {
-            mnm.run_access(&mut hier, Access::load(u64::from(raw)));
+        for &access in &trace {
+            mnm.run_access(&mut hier, Access::load(access.addr));
         }
-        prop_assert!(mnm.stats().accesses as usize == trace.len());
+        assert_eq!(mnm.stats().accesses as usize, trace.len());
     }
 }

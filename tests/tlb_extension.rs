@@ -1,29 +1,41 @@
-//! Property tests for the §4.5 TLB-filtering extension: the filter's
-//! verdicts stay sound against the real L2 TLB contents under arbitrary
-//! page streams, and filtering never changes where translations come from.
+//! Tests for the §4.5 TLB-filtering extension: the filter's verdicts stay
+//! sound against the real L2 TLB contents under arbitrary page streams,
+//! and filtering never changes where translations come from. Deterministic
+//! seeded sweeps (formerly proptest).
 
 use cache_sim::{TlbConfig, TlbEvent, TwoLevelTlb};
 use mnm_core::{MissFilter, TmnmConfig, TmnmFilter};
-use proptest::prelude::*;
 
-fn tiny_tlb() -> TwoLevelTlb {
-    TwoLevelTlb::new(
-        TlbConfig::new("t1", 8, 2, 4096, 1),
-        TlbConfig::new("t2", 32, 4, 4096, 3),
-        40,
-    )
+/// Minimal deterministic generator for test inputs (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pages(&mut self, max_len: u64) -> Vec<u64> {
+        let n = 1 + self.next() % max_len;
+        (0..n).map(|_| self.next() % 64).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn tiny_tlb() -> TwoLevelTlb {
+    TwoLevelTlb::new(TlbConfig::new("t1", 8, 2, 4096, 1), TlbConfig::new("t2", 32, 4, 4096, 3), 40)
+}
 
-    /// Drive random page streams with the filter active; verify every
-    /// bypass against the actual L2 TLB before issuing it (the TLB's
-    /// debug_assert double-checks).
-    #[test]
-    fn tlb_filter_never_flags_resident_translations(
-        pages in proptest::collection::vec(0u64..64, 1..500),
-    ) {
+/// Drive random page streams with the filter active; verify every
+/// bypass against the actual L2 TLB before issuing it (the TLB's
+/// debug_assert double-checks).
+#[test]
+fn tlb_filter_never_flags_resident_translations() {
+    let mut gen = Gen(0x71B);
+    for _ in 0..48 {
+        let pages = gen.pages(500);
         let mut tlb = tiny_tlb();
         let mut filter = TmnmFilter::new(TmnmConfig::new(5, 1));
         let mut events: Vec<TlbEvent> = Vec::new();
@@ -31,10 +43,7 @@ proptest! {
             let addr = p * 4096 + 12;
             let bypass = filter.is_definite_miss(tlb.page_of(addr));
             if bypass {
-                prop_assert!(
-                    !tlb.l2_contains(addr),
-                    "filter flagged resident page {p}"
-                );
+                assert!(!tlb.l2_contains(addr), "filter flagged resident page {p}");
             }
             events.clear();
             tlb.translate(addr, bypass, &mut events);
@@ -46,13 +55,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// Filtering is functionally invisible: the same stream produces the
-    /// same number of page walks and the same final L2 residency.
-    #[test]
-    fn tlb_filtering_never_changes_walk_count(
-        pages in proptest::collection::vec(0u64..64, 1..400),
-    ) {
+/// Filtering is functionally invisible: the same stream produces the
+/// same number of page walks and the same final L2 residency.
+#[test]
+fn tlb_filtering_never_changes_walk_count() {
+    let mut gen = Gen(0x71B2);
+    for _ in 0..48 {
+        let pages = gen.pages(400);
         let mut plain = tiny_tlb();
         let mut filtered = tiny_tlb();
         let mut filter = TmnmFilter::new(TmnmConfig::new(5, 1));
@@ -70,14 +81,14 @@ proptest! {
                     TlbEvent::L2Replaced(page) => filter.on_replace(page),
                 }
             }
-            prop_assert_eq!(a.supply_level, b.supply_level);
-            prop_assert!(b.latency <= a.latency);
+            assert_eq!(a.supply_level, b.supply_level);
+            assert!(b.latency <= a.latency);
         }
         let (_, _, walks_a) = plain.stats();
         let (_, _, walks_b) = filtered.stats();
-        prop_assert_eq!(walks_a, walks_b);
+        assert_eq!(walks_a, walks_b);
         for &p in &pages {
-            prop_assert_eq!(plain.l2_contains(p * 4096), filtered.l2_contains(p * 4096));
+            assert_eq!(plain.l2_contains(p * 4096), filtered.l2_contains(p * 4096));
         }
     }
 }
