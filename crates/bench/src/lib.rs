@@ -23,6 +23,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mnm_experiments::json::Json;
+
 /// Heap allocations observed by [`CountingAlloc`] since process start.
 pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -88,19 +90,17 @@ impl ScenarioResult {
         }
     }
 
-    /// One JSON object, hand-formatted (the workspace carries no serde).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"label\": \"{}\", \"accesses\": {}, \"nanos\": {}, \
-             \"accesses_per_sec\": {:.1}, \"allocations\": {}, \
-             \"allocations_avoided\": {}}}",
-            self.label,
-            self.accesses,
-            self.nanos,
-            self.accesses_per_sec(),
-            self.allocations,
-            self.allocations_avoided
-        )
+    /// One JSON object, built with the workspace's shared writer
+    /// (`mnm_experiments::json`; the workspace carries no serde).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            ("accesses", Json::num(self.accesses as f64)),
+            ("nanos", Json::num(self.nanos as f64)),
+            ("accesses_per_sec", Json::num((self.accesses_per_sec() * 10.0).round() / 10.0)),
+            ("allocations", Json::num(self.allocations as f64)),
+            ("allocations_avoided", Json::num(self.allocations_avoided as f64)),
+        ])
     }
 }
 
@@ -110,11 +110,11 @@ pub const LEGACY_ALLOCS_PER_ACCESS: u64 = 3;
 
 /// Render a full `BENCH_replay.json` document from scenario results.
 pub fn render_report(results: &[ScenarioResult]) -> String {
-    let body: Vec<String> = results.iter().map(|r| format!("    {}", r.to_json())).collect();
-    format!(
-        "{{\n  \"benchmark\": \"replay_throughput\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
-    )
+    Json::obj(vec![
+        ("benchmark", Json::str("replay_throughput")),
+        ("scenarios", Json::Arr(results.iter().map(ScenarioResult::to_json).collect())),
+    ])
+    .render_pretty()
 }
 
 #[cfg(test)]
@@ -132,8 +132,12 @@ mod tests {
         };
         assert!((r.accesses_per_sec() - 500_000.0).abs() < 1.0);
         let doc = render_report(&[r]);
-        assert!(doc.contains("\"accesses_per_sec\": 500000.0"));
+        assert!(doc.contains("\"accesses_per_sec\": 500000"));
         assert!(doc.contains("\"allocations_avoided\": 3000"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // The document parses back with the shared reader.
+        let parsed = Json::parse(&doc).expect("well-formed");
+        let scenarios = parsed.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(scenarios[0].get("accesses").and_then(Json::as_f64), Some(1000.0));
     }
 }

@@ -4,5 +4,5 @@ use mnm_experiments::ablation::counter_width_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", counter_width_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&counter_width_table(RunParams::from_env()));
 }

@@ -4,5 +4,5 @@ use mnm_experiments::extensions::distributed_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", distributed_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&distributed_table(RunParams::from_env()));
 }

@@ -4,5 +4,5 @@ use mnm_experiments::ablation::inclusion_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", inclusion_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&inclusion_table(RunParams::from_env()));
 }

@@ -4,5 +4,5 @@ use mnm_experiments::ablation::l1_size_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", l1_size_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&l1_size_table(RunParams::from_env()));
 }

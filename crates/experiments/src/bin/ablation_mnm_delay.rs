@@ -4,5 +4,5 @@ use mnm_experiments::ablation::delay_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", delay_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&delay_table(RunParams::from_env()));
 }

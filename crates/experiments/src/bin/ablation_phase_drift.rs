@@ -5,5 +5,5 @@ use mnm_experiments::ablation::phase_drift_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", phase_drift_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&phase_drift_table(RunParams::from_env()));
 }

@@ -4,5 +4,5 @@ use mnm_experiments::ablation::placement_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", placement_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&placement_table(RunParams::from_env()));
 }

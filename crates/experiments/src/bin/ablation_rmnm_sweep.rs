@@ -4,5 +4,5 @@ use mnm_experiments::ablation::rmnm_sweep_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", rmnm_sweep_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&rmnm_sweep_table(RunParams::from_env()));
 }

@@ -52,7 +52,7 @@ fn main() {
         let err = if simulated == 0.0 { 0.0 } else { 100.0 * (predicted - simulated) / simulated };
         table.push_row(&app.name, vec![predicted, simulated, err]);
     }
-    print!("{}", table.render());
+    mnm_experiments::emit(&table);
     println!(
         "\nNote: eq1 uses data-path rates; instruction-path effects appear as small residuals."
     );

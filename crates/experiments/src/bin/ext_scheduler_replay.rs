@@ -5,5 +5,5 @@ use mnm_experiments::extensions::scheduler_replay_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", scheduler_replay_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&scheduler_replay_table(RunParams::from_env()));
 }

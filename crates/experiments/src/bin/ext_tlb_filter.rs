@@ -4,5 +4,5 @@ use mnm_experiments::extensions::tlb_filter_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", tlb_filter_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&tlb_filter_table(RunParams::from_env()));
 }

@@ -7,6 +7,5 @@ use mnm_experiments::RunParams;
 fn main() {
     let params = RunParams::from_env();
     let (time_table, _) = depth_fractions(params);
-    print!("{}", time_table.render());
-    mnm_experiments::report::maybe_chart(&time_table);
+    mnm_experiments::emit(&time_table);
 }

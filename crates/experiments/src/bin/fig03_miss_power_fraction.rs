@@ -7,6 +7,5 @@ use mnm_experiments::RunParams;
 fn main() {
     let params = RunParams::from_env();
     let (_, power_table) = depth_fractions(params);
-    print!("{}", power_table.render());
-    mnm_experiments::report::maybe_chart(&power_table);
+    mnm_experiments::emit(&power_table);
 }

@@ -6,6 +6,5 @@ use mnm_experiments::{RunParams, FIG11_CONFIGS};
 fn main() {
     let params = RunParams::from_env();
     let t = coverage_table("Figure 11: SMNM coverage [%]", &FIG11_CONFIGS, params);
-    print!("{}", t.render());
-    mnm_experiments::report::maybe_chart(&t);
+    mnm_experiments::emit(&t);
 }

@@ -6,6 +6,5 @@ use mnm_experiments::{RunParams, FIG12_CONFIGS};
 fn main() {
     let params = RunParams::from_env();
     let t = coverage_table("Figure 12: TMNM coverage [%]", &FIG12_CONFIGS, params);
-    print!("{}", t.render());
-    mnm_experiments::report::maybe_chart(&t);
+    mnm_experiments::emit(&t);
 }

@@ -26,6 +26,5 @@ fn main() {
 
     let params = RunParams::from_env();
     let t = coverage_table("Figure 14: HMNM coverage [%]", &FIG14_CONFIGS, params);
-    print!("{}", t.render());
-    mnm_experiments::report::maybe_chart(&t);
+    mnm_experiments::emit(&t);
 }

@@ -7,6 +7,5 @@ use mnm_experiments::RunParams;
 fn main() {
     let params = RunParams::from_env();
     let t = power_reduction_table(params);
-    print!("{}", t.render());
-    mnm_experiments::report::maybe_chart(&t);
+    mnm_experiments::emit(&t);
 }

@@ -5,5 +5,5 @@ use mnm_experiments::related_work::bloom_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", bloom_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&bloom_table(RunParams::from_env()));
 }

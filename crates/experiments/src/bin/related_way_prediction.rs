@@ -5,5 +5,5 @@ use mnm_experiments::related_work::way_prediction_table;
 use mnm_experiments::RunParams;
 
 fn main() {
-    print!("{}", way_prediction_table(RunParams::from_env()).render());
+    mnm_experiments::emit(&way_prediction_table(RunParams::from_env()));
 }

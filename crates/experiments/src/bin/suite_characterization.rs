@@ -47,5 +47,5 @@ fn main() {
         );
     }
     table.push_mean_row();
-    print!("{}", table.render());
+    mnm_experiments::emit(&table);
 }

@@ -7,5 +7,5 @@ use mnm_experiments::RunParams;
 fn main() {
     let params = RunParams::from_env();
     let t = characteristics_table(params);
-    print!("{}", t.render());
+    mnm_experiments::emit(&t);
 }

@@ -11,13 +11,19 @@
 //!
 //! Instruction budgets default to 300 k warmup + 2 M measured per app and
 //! can be overridden with the `JSN_WARMUP` / `JSN_MEASURE` environment
-//! variables (`JSN_THREADS` bounds worker parallelism).
+//! variables (`JSN_THREADS` bounds worker parallelism); malformed values
+//! are rejected, not ignored. Set `JSN_JSON=1` to mirror every table as
+//! `<out>/<slug>.json` (`JSN_OUT` picks the directory), and see
+//! [`metrics`] for the run-manifest schema behind
+//! `results/all_experiments.json` and `jsn diff`.
 
 pub mod ablation;
 pub mod analytic;
 pub mod coverage;
 pub mod depth;
 pub mod extensions;
+pub mod json;
+pub mod metrics;
 pub mod params;
 pub mod power;
 pub mod related_work;
@@ -25,6 +31,8 @@ pub mod report;
 pub mod runner;
 pub mod timing;
 
+pub use json::Json;
+pub use metrics::{emit, RunManifest};
 pub use params::RunParams;
 pub use report::Table;
 

@@ -1,4 +1,9 @@
 //! Shared run parameters.
+//!
+//! All `JSN_*` environment knobs are parsed here. Malformed values are
+//! never silently ignored: the parser reports exactly what it rejected so
+//! a typo (`JSN_MEASURE=2m`) cannot quietly run with defaults the user
+//! did not ask for.
 
 /// Instruction budgets for one application run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,16 +28,28 @@ impl RunParams {
     }
 
     /// Standard budgets overridden by the `JSN_WARMUP` and `JSN_MEASURE`
-    /// environment variables (instruction counts).
-    pub fn from_env() -> Self {
+    /// environment variables (instruction counts; `_` separators
+    /// allowed). A malformed value is rejected with a message naming the
+    /// variable and the offending text.
+    pub fn try_from_env() -> Result<Self, String> {
         let mut p = Self::standard();
-        if let Some(w) = read_env("JSN_WARMUP") {
+        if let Some(w) = parse_env_u64("JSN_WARMUP", read_env("JSN_WARMUP").as_deref())? {
             p.warmup = w;
         }
-        if let Some(m) = read_env("JSN_MEASURE") {
+        if let Some(m) = parse_env_u64("JSN_MEASURE", read_env("JSN_MEASURE").as_deref())? {
             p.measure = m.max(1);
         }
-        p
+        Ok(p)
+    }
+
+    /// [`RunParams::try_from_env`] for binaries: a malformed value prints
+    /// the error to stderr and exits with failure rather than running an
+    /// experiment the user did not configure.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Total instructions driven per run.
@@ -47,19 +64,48 @@ impl Default for RunParams {
     }
 }
 
-fn read_env(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.replace('_', "").parse().ok()
+fn read_env(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Parse one optional numeric knob. `None`/empty means "not set"; a set
+/// but malformed value is an error naming the variable.
+fn parse_env_u64(name: &str, value: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Ok(None);
+    }
+    raw.trim()
+        .replace('_', "")
+        .parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("{name}={raw}: expected an unsigned instruction count"))
 }
 
 /// Worker-thread count for the parallel runner: `JSN_THREADS` or the
-/// machine's available parallelism.
+/// machine's available parallelism. A malformed or zero `JSN_THREADS`
+/// aborts like [`RunParams::from_env`].
 pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("JSN_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    match try_worker_threads() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// [`worker_threads`] with the error reported instead of exiting.
+pub fn try_worker_threads() -> Result<usize, String> {
+    worker_threads_from(read_env("JSN_THREADS").as_deref())
+}
+
+fn worker_threads_from(value: Option<&str>) -> Result<usize, String> {
+    match parse_env_u64("JSN_THREADS", value)? {
+        Some(0) => Err("JSN_THREADS=0: need at least one worker".to_owned()),
+        Some(n) => Ok(usize::try_from(n).unwrap_or(usize::MAX)),
+        None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)),
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +127,49 @@ mod tests {
     #[test]
     fn workers_are_positive() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn unset_and_empty_knobs_mean_default() {
+        assert_eq!(parse_env_u64("JSN_WARMUP", None), Ok(None));
+        assert_eq!(parse_env_u64("JSN_WARMUP", Some("")), Ok(None));
+        assert_eq!(parse_env_u64("JSN_WARMUP", Some("  ")), Ok(None));
+    }
+
+    #[test]
+    fn well_formed_knobs_parse_with_separators() {
+        assert_eq!(parse_env_u64("JSN_MEASURE", Some("2_000_000")), Ok(Some(2_000_000)));
+        assert_eq!(parse_env_u64("JSN_MEASURE", Some(" 500000 ")), Ok(Some(500_000)));
+    }
+
+    #[test]
+    fn malformed_knobs_are_rejected_loudly() {
+        for bad in ["2m", "-5", "1e6", "lots", "3.5"] {
+            let err = parse_env_u64("JSN_WARMUP", Some(bad)).unwrap_err();
+            assert!(err.contains("JSN_WARMUP"), "error names the variable: {err}");
+            assert!(err.contains(bad), "error shows the value: {err}");
+        }
+    }
+
+    /// `try_from_env` surfaces malformed values instead of ignoring them
+    /// (the pre-fix behaviour ran with defaults). The env mutation is
+    /// confined to one test to avoid cross-test races.
+    #[test]
+    fn try_from_env_round_trips_the_process_environment() {
+        std::env::set_var("JSN_WARMUP", "12_500");
+        let p = RunParams::try_from_env().unwrap();
+        assert_eq!(p.warmup, 12_500);
+        std::env::set_var("JSN_WARMUP", "bogus");
+        assert!(RunParams::try_from_env().is_err());
+        std::env::remove_var("JSN_WARMUP");
+        assert_eq!(RunParams::try_from_env().unwrap(), RunParams::standard());
+    }
+
+    #[test]
+    fn thread_knob_rejects_zero_and_garbage() {
+        assert!(worker_threads_from(Some("0")).unwrap_err().contains("at least one"));
+        assert!(worker_threads_from(Some("two")).unwrap_err().contains("JSN_THREADS"));
+        assert_eq!(worker_threads_from(Some("6")), Ok(6));
+        assert!(worker_threads_from(None).unwrap() >= 1);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use crate::json::Json;
+
 /// A simple numeric results table: one labelled row per application (plus
 /// derived mean rows), one column per configuration/series.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +140,30 @@ impl Table {
         out
     }
 
+    /// Export as a JSON object (`title`/`key`/`precision`/`columns`/
+    /// `rows`), the machine-readable twin of [`Table::render`] and
+    /// [`Table::to_markdown`]. Cell values are exported at full precision;
+    /// `precision` records how the text renderings rounded them.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(label, values)| {
+                Json::obj(vec![
+                    ("label", Json::str(label)),
+                    ("values", Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("title", Json::str(&self.title)),
+            ("key", Json::str(&self.key)),
+            ("precision", Json::num(self.precision as f64)),
+            ("columns", Json::Arr(self.columns.iter().map(|c| Json::str(c)).collect())),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
     /// Render as a GitHub-flavoured markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -233,6 +259,71 @@ mod tests {
         let min = *bars.iter().min().unwrap();
         assert_eq!(max, 48);
         assert!((min as f64 - 12.0).abs() <= 1.0, "quarter-length bar, got {min}");
+    }
+
+    /// Every cell of the ASCII rendering, parsed back to `(label, column,
+    /// value)` triples.
+    fn ascii_cells(text: &str, t: &Table) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for line in text.lines().skip(2) {
+            // Labels may contain spaces ("Arith. Mean"): the last
+            // `columns` fields are the values, the rest is the label.
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let split = fields.len() - t.columns.len();
+            let label = fields[..split].join(" ");
+            for (c, field) in fields[split..].iter().enumerate() {
+                out.push((label.clone(), t.columns[c].clone(), field.parse().unwrap()));
+            }
+        }
+        out
+    }
+
+    /// Every cell of the markdown rendering, same shape.
+    fn markdown_cells(md: &str, t: &Table) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for line in md.lines().filter(|l| l.starts_with('|')).skip(2) {
+            let mut fields = line.trim_matches('|').split('|').map(str::trim);
+            let label = fields.next().unwrap().to_owned();
+            for (c, field) in fields.enumerate() {
+                out.push((label.clone(), t.columns[c].clone(), field.parse().unwrap()));
+            }
+        }
+        out
+    }
+
+    /// Golden agreement: the ASCII, markdown, and JSON renderings of one
+    /// table expose the same cells (JSON at full precision, text at the
+    /// table's printed precision).
+    #[test]
+    fn renderings_agree_cell_for_cell() {
+        let mut t = sample();
+        t.push_row("twolf", vec![33.333, 0.05]);
+        t.push_mean_row();
+
+        let json = t.to_json();
+        let ascii = ascii_cells(&t.render(), &t);
+        let md = markdown_cells(&t.to_markdown(), &t);
+        assert_eq!(ascii.len(), t.rows.len() * t.columns.len());
+        assert_eq!(ascii, md, "ASCII and markdown disagree");
+
+        let rows = json.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), t.rows.len());
+        let mut i = 0;
+        for row in rows {
+            let label = row.get("label").and_then(Json::as_str).unwrap();
+            for (c, v) in row.get("values").and_then(Json::as_arr).unwrap().iter().enumerate() {
+                let (a_label, a_col, a_val) = &ascii[i];
+                assert_eq!(label, a_label);
+                assert_eq!(&t.columns[c], a_col);
+                let exact = v.as_f64().unwrap();
+                let printed = format!("{:.*}", t.precision, exact).parse::<f64>().unwrap();
+                assert_eq!(printed, *a_val, "cell {label}/{a_col}");
+                i += 1;
+            }
+        }
+        // And the JSON cells are the exact table values.
+        assert_eq!(json.get("title").and_then(Json::as_str), Some(t.title.as_str()));
+        assert_eq!(rows[2].get("values").and_then(Json::as_arr).unwrap()[0].as_f64(), Some(33.333));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Per-application simulation drivers and the parallel job runner.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use cache_sim::{
     Access, AccessFilter, BypassSet, CacheEvent, Hierarchy, HierarchyConfig, HierarchyStats,
@@ -241,7 +243,7 @@ fn finish(
     mnm: Option<Mnm>,
     cpu: CpuStats,
 ) -> AppRun {
-    AppRun {
+    let run = AppRun {
         app: profile.name.clone(),
         config: kind.label(),
         level_of_structure: hierarchy.structures().iter().map(|s| s.level).collect(),
@@ -251,10 +253,22 @@ fn finish(
         mnm_placement: mnm.as_ref().map(|m| m.config().placement),
         mnm: mnm.map(|m| m.stats().clone()),
         cpu,
-    }
+    };
+    crate::metrics::record_app_run(&run);
+    run
 }
 
 /// Run `jobs` on a bounded worker pool, preserving order.
+///
+/// Each job writes its result (and duration) into its own slot, so
+/// completed workers never contend on a shared lock. A panicking job is
+/// reported by index and payload instead of surfacing as an opaque
+/// scoped-thread panic. Pool and per-job timings feed the telemetry recorder
+/// when [`crate::metrics::enable_telemetry`] is active.
+///
+/// # Panics
+///
+/// Panics if any job panics, naming the failing job.
 pub fn parallel_run<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
 where
     J: Sync,
@@ -262,32 +276,70 @@ where
     F: Fn(&J) -> T + Sync,
 {
     let n = jobs.len();
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // One mutex per slot: each is locked exactly once by the worker that
+    // ran the job, so there is no cross-worker contention on completion.
+    let slots: Vec<Mutex<Option<(T, Duration)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
     let jobs_ref = &jobs;
     let f_ref = &f;
-    let results_ref = &results;
+    let slots_ref = &slots;
+    let panicked_ref = &panicked;
     let workers = worker_threads().min(n.max(1));
 
+    let pool_start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
-                let out = f_ref(&jobs_ref[idx]);
-                results_ref.lock().expect("results lock poisoned")[idx] = Some(out);
+                let job_start = Instant::now();
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f_ref(&jobs_ref[idx])
+                }));
+                match out {
+                    Ok(value) => {
+                        *slots_ref[idx].lock().expect("slot lock poisoned") =
+                            Some((value, job_start.elapsed()));
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("non-string panic payload")
+                            .to_owned();
+                        let mut guard = panicked_ref.lock().expect("panic slot poisoned");
+                        if guard.is_none() {
+                            *guard = Some((idx, msg));
+                        }
+                        // Stop claiming work; other workers drain and exit.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
 
-    results
-        .into_inner()
-        .expect("results lock poisoned")
+    if let Some((idx, msg)) = panicked.into_inner().expect("panic slot poisoned") {
+        panic!("parallel job {idx} of {n} panicked: {msg}");
+    }
+
+    let mut durations = Vec::with_capacity(n);
+    let results = slots
         .into_iter()
-        .map(|o| o.expect("job completed"))
-        .collect()
+        .map(|slot| {
+            let (value, took) =
+                slot.into_inner().expect("slot lock poisoned").expect("job completed");
+            durations.push(took);
+            value
+        })
+        .collect();
+    crate::metrics::record_pool(n, workers, pool_start.elapsed(), &durations);
+    results
 }
 
 #[cfg(test)]
@@ -348,6 +400,29 @@ mod tests {
         let out = parallel_run(jobs, |&j| j * j);
         assert_eq!(out[7], 49);
         assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn parallel_run_names_the_panicking_job() {
+        let payload = std::panic::catch_unwind(|| {
+            parallel_run((0..16).collect::<Vec<u64>>(), |&j| {
+                if j == 11 {
+                    panic!("job eleven exploded");
+                }
+                j
+            })
+        })
+        .expect_err("must propagate the panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("parallel job 11 of 16"), "got: {msg}");
+        assert!(msg.contains("job eleven exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn parallel_run_handles_empty_and_single_job_lists() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_run(empty, |&j: &u64| j).is_empty());
+        assert_eq!(parallel_run(vec![5u64], |&j| j + 1), vec![6]);
     }
 
     #[test]

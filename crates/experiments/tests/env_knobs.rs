@@ -1,0 +1,36 @@
+//! The harness binaries reject malformed `JSN_*` knobs loudly instead of
+//! silently running with defaults the user did not ask for (the pre-fix
+//! behaviour of `RunParams::from_env`).
+
+use std::process::Command;
+
+fn fig02(envs: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig02_miss_time_fraction"));
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn malformed_warmup_aborts_before_simulating() {
+    let out = fig02(&[("JSN_WARMUP", "three-hundred-thousand")]);
+    assert!(!out.status.success(), "malformed JSN_WARMUP must not run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("JSN_WARMUP"), "stderr names the knob: {err}");
+    assert!(err.contains("three-hundred-thousand"), "stderr shows the value: {err}");
+    assert!(out.stdout.is_empty(), "no results were produced");
+}
+
+#[test]
+fn malformed_measure_and_threads_abort() {
+    let out = fig02(&[("JSN_MEASURE", "2m")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSN_MEASURE=2m"));
+
+    // JSN_THREADS is validated when the worker pool spins up; a malformed
+    // value must also abort rather than fall back to a default.
+    let out = fig02(&[("JSN_THREADS", "0"), ("JSN_WARMUP", "100"), ("JSN_MEASURE", "200")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSN_THREADS"));
+}

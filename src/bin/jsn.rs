@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! jsn apps                                   list the 20 bundled profiles
-//! jsn run <app> [--config L] [-n N] [--cpu]  simulate one app
+//! jsn run <app> [--config L] [-n N] [--cpu] [--json]   simulate one app
 //! jsn coverage <app> [labels...]             per-config coverage for one app
 //! jsn trace <app> -o FILE [-n N]             persist a binary trace
+//! jsn diff <a.json> <b.json> [--tol X]       compare two results artifacts
 //! jsn help                                   this text
 //! ```
 //!
@@ -14,6 +15,8 @@
 
 use std::process::ExitCode;
 
+use just_say_no::mnm_experiments::json::Json;
+use just_say_no::mnm_experiments::metrics::diff_documents;
 use just_say_no::prelude::*;
 use trace_synth::{characterize, write_trace};
 
@@ -26,6 +29,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("coverage") => cmd_coverage(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("diff") => return cmd_diff(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -45,8 +49,9 @@ fn print_help() {
     println!(
         "jsn — Just Say No (HPCA 2003) reproduction CLI\n\
          \n\
-         USAGE:\n  jsn apps\n  jsn run <app> [--config LABEL] [-n N] [--cpu]\n  \
-         jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n\
+         USAGE:\n  jsn apps\n  jsn run <app> [--config LABEL] [-n N] [--cpu] [--json]\n  \
+         jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n  \
+         jsn diff <a.json> <b.json> [--tol X]\n\
          \n\
          Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
          RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>."
@@ -102,6 +107,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let n = parse_n(args, "-n", DEFAULT_INSTRUCTIONS)?;
     let label = parse_opt(args, "--config").unwrap_or("HMNM4");
     let timed = args.iter().any(|a| a == "--cpu");
+    let json = args.iter().any(|a| a == "--json");
 
     let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
     let mut mnm = match label {
@@ -117,6 +123,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             (None, _) => MemPolicy::Baseline,
         };
         let stats = simulate(&cpu, &mut hier, policy, Program::new(profile), n);
+        if json {
+            print!("{}", run_json(app, label, &hier, mnm.as_ref(), Some(&stats)).render_pretty());
+            return Ok(());
+        }
         println!("app: {app}   config: {label}   instructions: {}", stats.instructions);
         println!("cycles: {}   IPC: {:.3}", stats.cycles, stats.ipc());
         println!(
@@ -146,6 +156,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        if json {
+            print!("{}", run_json(app, label, &hier, mnm.as_ref(), None).render_pretty());
+            return Ok(());
+        }
         println!("app: {app}   config: {label}   data accesses: {}", hier.stats().accesses);
         println!("mean data access time: {:.2} cycles", hier.stats().mean_access_time());
         println!("miss-time fraction: {:.1}%", hier.stats().miss_time_fraction() * 100.0);
@@ -160,6 +174,132 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The `jsn run --json` document: one run's counters, schema
+/// `jsn-run/v1`.
+fn run_json(
+    app: &str,
+    label: &str,
+    hier: &Hierarchy,
+    mnm: Option<&Mnm>,
+    cpu: Option<&just_say_no::ooo_model::CpuStats>,
+) -> Json {
+    let st = hier.stats();
+    let structures = Json::Arr(
+        hier.structures()
+            .iter()
+            .map(|meta| {
+                let s = st.structures[meta.id.index()];
+                Json::obj(vec![
+                    ("name", Json::str(&meta.name)),
+                    ("level", Json::num(meta.level as f64)),
+                    ("probes", Json::num(s.probes as f64)),
+                    ("hits", Json::num(s.hits as f64)),
+                    ("misses", Json::num(s.misses as f64)),
+                    ("bypasses", Json::num(s.bypasses as f64)),
+                    ("fills", Json::num(s.fills as f64)),
+                    ("writebacks", Json::num(s.writebacks as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let mut pairs = vec![
+        ("schema", Json::str("jsn-run/v1")),
+        ("app", Json::str(app)),
+        ("config", Json::str(label)),
+        (
+            "hierarchy",
+            Json::obj(vec![
+                ("accesses", Json::num(st.accesses as f64)),
+                ("data_accesses", Json::num(st.data_accesses as f64)),
+                ("memory_supplies", Json::num(st.memory_supplies as f64)),
+                ("mean_access_time", Json::num(st.mean_access_time())),
+                ("miss_time_fraction", Json::num(st.miss_time_fraction())),
+                (
+                    "supplies_by_level",
+                    Json::Arr(st.supplies_by_level.iter().map(|&s| Json::num(s as f64)).collect()),
+                ),
+                ("structures", structures),
+            ]),
+        ),
+    ];
+    if let Some(cpu) = cpu {
+        pairs.push((
+            "cpu",
+            Json::obj(vec![
+                ("instructions", Json::num(cpu.instructions as f64)),
+                ("cycles", Json::num(cpu.cycles as f64)),
+                ("ipc", Json::num(cpu.ipc())),
+                ("loads", Json::num(cpu.loads as f64)),
+                ("mean_load_latency", Json::num(cpu.mean_load_latency())),
+                ("branches", Json::num(cpu.branches as f64)),
+                ("mispredicts", Json::num(cpu.mispredicts as f64)),
+            ]),
+        ));
+    }
+    if let Some(m) = mnm {
+        pairs.push((
+            "mnm",
+            Json::obj(vec![
+                ("coverage", Json::num(m.stats().coverage())),
+                ("identified_misses", Json::num(m.stats().identified_misses() as f64)),
+                ("bypassable_misses", Json::num(m.stats().bypassable_misses() as f64)),
+                ("storage_bits", Json::num(m.storage_bits() as f64)),
+                ("components", Json::num(m.storage().len() as f64)),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// `jsn diff a.json b.json [--tol X]`: per-cell comparison of two results
+/// artifacts (run manifests or single-table documents). Exits 0 when they
+/// agree within the tolerance, 1 when any cell or structure diverges.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    match run_diff(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut tolerance = 1e-9_f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tol" {
+            let t = it.next().ok_or("--tol needs a numeric argument")?;
+            tolerance = t.parse().map_err(|_| format!("--tol {t}: expected a number"))?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown diff option `{arg}`"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [a_path, b_path] = paths[..] else {
+        return Err("diff needs two JSON files (and an optional --tol X)".to_owned());
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+
+    let diffs = diff_documents(&a, &b, tolerance);
+    if diffs.is_empty() {
+        println!("identical within tolerance {tolerance}: {a_path} vs {b_path}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{} divergence(s) beyond tolerance {tolerance}:", diffs.len());
+    for d in &diffs {
+        println!("  {d}");
+    }
+    Ok(ExitCode::FAILURE)
 }
 
 fn cmd_coverage(args: &[String]) -> Result<(), String> {

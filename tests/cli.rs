@@ -67,3 +67,78 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn run_json_emits_parseable_counters() {
+    use just_say_no::mnm_experiments::json::Json;
+    let out = jsn(&["run", "164.gzip", "--config", "TMNM_10x1", "-n", "30000", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("jsn-run/v1"));
+    assert_eq!(doc.get("app").and_then(Json::as_str), Some("164.gzip"));
+    let hier = doc.get("hierarchy").expect("hierarchy object");
+    assert!(hier.get("accesses").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(doc.get("mnm").and_then(|m| m.get("coverage")).is_some());
+    assert!(doc.get("cpu").is_none(), "functional run has no cpu section");
+}
+
+#[test]
+fn run_json_timed_includes_cpu() {
+    use just_say_no::mnm_experiments::json::Json;
+    let out = jsn(&["run", "171.swim", "--config", "Baseline", "-n", "20000", "--cpu", "--json"]);
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let cpu = doc.get("cpu").expect("cpu section");
+    assert_eq!(cpu.get("instructions").and_then(Json::as_f64), Some(20000.0));
+    assert!(cpu.get("cycles").and_then(Json::as_f64).unwrap() > 0.0);
+}
+
+/// `jsn diff` passes identical documents, flags an injected regression
+/// with a nonzero exit, and honours `--tol`.
+#[test]
+fn diff_flags_regressions_and_passes_identity() {
+    use just_say_no::mnm_experiments::{Json, Table};
+    let dir = std::env::temp_dir();
+    let a_path = dir.join("jsn_diff_a.json");
+    let b_path = dir.join("jsn_diff_b.json");
+
+    let mut t = Table::new("Figure X: smoke [%]", "app", &["HMNM4".to_owned()]);
+    t.push_row("164.gzip", vec![88.25]);
+    let doc = |t: &Table| {
+        Json::obj(vec![("schema", Json::str("jsn-table/v1")), ("table", t.to_json())])
+            .render_pretty()
+    };
+    std::fs::write(&a_path, doc(&t)).unwrap();
+    std::fs::write(&b_path, doc(&t)).unwrap();
+
+    let identical = jsn(&["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()]);
+    assert!(identical.status.success(), "{}", String::from_utf8_lossy(&identical.stdout));
+
+    // Inject a regression.
+    t.rows[0].1[0] = 80.0;
+    std::fs::write(&b_path, doc(&t)).unwrap();
+    let regressed = jsn(&["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()]);
+    assert!(!regressed.status.success(), "regression must exit nonzero");
+    let text = String::from_utf8_lossy(&regressed.stdout);
+    assert!(text.contains("164.gzip"), "names the row: {text}");
+    assert!(text.contains("88.25 -> 80"), "shows both values: {text}");
+
+    // A huge tolerance lets the same delta pass.
+    let tolerant =
+        jsn(&["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap(), "--tol", "10"]);
+    assert!(tolerant.status.success());
+
+    std::fs::remove_file(&a_path).ok();
+    std::fs::remove_file(&b_path).ok();
+}
+
+#[test]
+fn diff_rejects_missing_and_malformed_input() {
+    let out = jsn(&["diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = jsn(&["diff", "only_one.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("two JSON files"));
+}
