@@ -1,0 +1,129 @@
+//! Greedy trace minimization (ddmin-style) for violation reproducers.
+//!
+//! Given a failing op stream and a predicate that replays a candidate
+//! stream from scratch and reports whether it still fails, [`shrink_ops`]
+//! repeatedly deletes chunks (halving the chunk size on a full fruitless
+//! pass) until no single-op deletion preserves the failure. The result is
+//! 1-minimal: removing any one remaining op makes the violation vanish.
+
+use crate::generate::Op;
+
+/// Upper bound on predicate invocations; shrinking stops (keeping the
+/// best reduction so far) once it is reached. Each invocation replays the
+/// candidate trace through a fresh hierarchy, so this caps shrink cost.
+const MAX_PROBES: usize = 4096;
+
+/// Minimize `ops` while `still_fails` holds.
+///
+/// `still_fails` must be a pure function of the candidate stream (it
+/// should rebuild the hierarchy, filter, and reference model from scratch
+/// on every call) and must return `true` for the initial `ops`.
+pub fn shrink_ops<F>(ops: &[Op], mut still_fails: F) -> Vec<Op>
+where
+    F: FnMut(&[Op]) -> bool,
+{
+    let mut current: Vec<Op> = ops.to_vec();
+    let mut probes = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < current.len() {
+            if probes >= MAX_PROBES {
+                return current;
+            }
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            probes += 1;
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Re-test at the same start: the next chunk slid into
+                // this position.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                return current;
+            }
+            chunk = (chunk / 2).max(1);
+        } else {
+            // Keep the chunk size while deletions are still landing.
+            chunk = chunk.min(current.len().max(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::Access;
+
+    fn ops_of(addrs: &[u64]) -> Vec<Op> {
+        addrs.iter().map(|&a| Op::Access(Access::load(a))).collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_op() {
+        // Failure iff address 0xBAD is present anywhere.
+        let mut addrs: Vec<u64> = (0..200).map(|i| i * 0x40).collect();
+        addrs.insert(137, 0xBAD);
+        let ops = ops_of(&addrs);
+        let fails = |candidate: &[Op]| {
+            candidate.iter().any(|o| matches!(o, Op::Access(a) if a.addr == 0xBAD))
+        };
+        let shrunk = shrink_ops(&ops, fails);
+        assert_eq!(shrunk, ops_of(&[0xBAD]));
+    }
+
+    #[test]
+    fn preserves_order_of_a_required_pair() {
+        // Failure needs 0xA0 followed (not necessarily adjacently) by 0xB0.
+        let mut addrs: Vec<u64> = (0..150).map(|i| 0x1000 + i * 0x40).collect();
+        addrs.insert(20, 0xA0);
+        addrs.insert(90, 0xB0);
+        let ops = ops_of(&addrs);
+        let fails = |candidate: &[Op]| {
+            let pos = |want: u64| {
+                candidate.iter().position(|o| matches!(o, Op::Access(a) if a.addr == want))
+            };
+            matches!((pos(0xA0), pos(0xB0)), (Some(a), Some(b)) if a < b)
+        };
+        let shrunk = shrink_ops(&ops, fails);
+        assert_eq!(shrunk, ops_of(&[0xA0, 0xB0]));
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure iff at least 3 distinct "hot" addresses appear.
+        let hot = [0x10u64, 0x20, 0x30, 0x40];
+        let mut addrs: Vec<u64> = (0..100).map(|i| 0x2000 + i * 0x40).collect();
+        for (i, h) in hot.iter().enumerate() {
+            addrs.insert(10 + i * 17, *h);
+        }
+        let ops = ops_of(&addrs);
+        let fails = |candidate: &[Op]| {
+            let mut seen = std::collections::HashSet::new();
+            for o in candidate {
+                if let Op::Access(a) = o {
+                    if hot.contains(&a.addr) {
+                        seen.insert(a.addr);
+                    }
+                }
+            }
+            seen.len() >= 3
+        };
+        let shrunk = shrink_ops(&ops, fails);
+        assert_eq!(shrunk.len(), 3);
+        for i in 0..shrunk.len() {
+            let mut without: Vec<Op> = shrunk.clone();
+            without.remove(i);
+            assert!(!fails(&without), "removing op {i} should break the failure");
+        }
+    }
+}

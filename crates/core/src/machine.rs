@@ -304,7 +304,14 @@ impl Mnm {
         self.slots.iter().map(|s| (s.name.clone(), s.level)).collect()
     }
 
-    /// Reset all filter state and statistics (cache flush).
+    /// Reset all filter state and statistics.
+    ///
+    /// **Soundness caveat**: this clears only the MNM side. Cold SMNM
+    /// checkers and zeroed TMNM/CMNM/Bloom counters read as "definite
+    /// miss" for *every* block, so calling this while the guarded caches
+    /// still hold data makes the very next query unsound. Unless the
+    /// hierarchy is already empty, use [`Mnm::flush_system`], which clears
+    /// both sides in the same step.
     pub fn flush(&mut self) {
         for slot in &mut self.slots {
             for f in &mut slot.filters {
@@ -315,6 +322,21 @@ impl Mnm {
             r.flush();
         }
         self.reset_stats();
+    }
+
+    /// Flush the machine together with the hierarchy it guards — the only
+    /// safe way to model a cache flush mid-trace.
+    ///
+    /// A flush must clear every attached filter (TMNM counters, CMNM live
+    /// set, the shared RMNM table, SMNM checkers) *and* the caches in the
+    /// same step: flushing the caches alone leaves filters conservatively
+    /// stale (sound but lossy), while flushing the filters alone flags
+    /// still-resident blocks (unsound). The differential checker in
+    /// `crates/check` replays flush-heavy traces through this entry point
+    /// to enforce the invariant.
+    pub fn flush_system(&mut self, hierarchy: &mut Hierarchy) {
+        hierarchy.flush();
+        self.flush();
     }
 }
 
@@ -461,6 +483,55 @@ mod tests {
         hier.flush();
         let bypass = mnm.query(Access::load(0x0));
         assert_eq!(bypass.len(), 2);
+    }
+
+    #[test]
+    fn flush_system_clears_both_sides_in_one_step() {
+        // Drive a trace far enough to populate every filter and every
+        // cache, flush mid-trace, then replay the same trace. The
+        // hierarchy's debug assertion verifies each bypass against actual
+        // contents, and we re-check the invariant explicitly so release
+        // builds exercise it too.
+        let trace: Vec<Access> = (0..256u64)
+            .map(|i| {
+                let addr = ((i * 0x2b3) % 0x4000) & !0x3;
+                match i % 3 {
+                    0 => Access::load(addr),
+                    1 => Access::store(addr),
+                    _ => Access::fetch(addr),
+                }
+            })
+            .collect();
+        for label in ["HMNM4", "TMNM_12x1", "CMNM_8_12", "RMNM_512_2", "SMNM_13x2"] {
+            let mut hier = tiny_hierarchy();
+            let mut mnm = Mnm::new(&hier, MnmConfig::parse(label).unwrap());
+            for &a in &trace {
+                mnm.run_access(&mut hier, a);
+            }
+            mnm.flush_system(&mut hier);
+            assert_eq!(mnm.stats().accesses, 0, "{label}: filter stats must reset");
+            assert_eq!(hier.stats().accesses, 0, "{label}: hierarchy stats must reset");
+            for info in hier.structures() {
+                assert_eq!(hier.cache(info.id).occupancy(), 0, "{label}: {} not empty", info.name);
+            }
+            // Replay: every flag the cold machine raises must be sound
+            // against the (initially empty, then refilling) caches.
+            // `query` is state-preserving on the filters, so peeking at the
+            // verdict before `run_access` sees the same bypass set.
+            for &a in &trace {
+                let bypass = mnm.query(a);
+                for info in hier.structures() {
+                    if bypass.contains(info.id) {
+                        assert!(
+                            !hier.contains(info.id, a.addr),
+                            "{label}: unsound flag on {} after flush_system",
+                            info.name
+                        );
+                    }
+                }
+                mnm.run_access(&mut hier, a);
+            }
+        }
     }
 
     #[test]

@@ -159,12 +159,20 @@ impl Rmnm {
         self.clock = 0;
     }
 
-    /// Storage cost in bits: per entry, a tag (modelled at 32 bits minus
-    /// the index width, as in the paper's 32-bit block-address space) plus
-    /// one bit per guarded structure, plus a valid bit.
+    /// Storage cost in bits: per entry, a tag plus one bit per guarded
+    /// structure, plus a valid bit.
+    ///
+    /// The tag width is derived from the full 64-bit block-address width —
+    /// the same width [`Rmnm::tag_of`] actually compares. An earlier
+    /// version modelled a 32-bit address space here; that was only a
+    /// storage-accounting shortfall (lookups always used full tags), but
+    /// any truncation of the *stored* tag would let two blocks differing
+    /// only above bit 32 alias into one entry and turn a stale miss bit
+    /// into an unsound "definite miss" (see
+    /// `full_width_tags_do_not_alias_high_addresses`).
     pub fn storage_bits(&self) -> u64 {
         let index_bits = (self.sets as u64).trailing_zeros() as u64;
-        let tag_bits = 32u64.saturating_sub(index_bits);
+        let tag_bits = 64u64.saturating_sub(index_bits);
         (self.config.blocks as u64) * (tag_bits + self.num_slots as u64 + 1)
     }
 
@@ -257,6 +265,35 @@ mod tests {
         let small = Rmnm::new(RmnmConfig::new(128, 1), 5).storage_bits();
         let large = Rmnm::new(RmnmConfig::new(4096, 8), 5).storage_bits();
         assert!(large > small * 16);
+    }
+
+    #[test]
+    fn storage_accounts_full_block_address_tags() {
+        // 128 entries, direct-mapped: 7 index bits, 57 tag bits, 5 slot
+        // bits, 1 valid bit. The old 32-bit model counted 25 tag bits.
+        let r = Rmnm::new(RmnmConfig::new(128, 1), 5);
+        assert_eq!(r.storage_bits(), 128 * (57 + 5 + 1));
+    }
+
+    /// Regression: tags must cover the full 64-bit block-address width.
+    /// Under a 32-bit tag scheme these two blocks — identical in their low
+    /// 32 bits, different above — would alias into one entry, and the miss
+    /// bit recorded for the first would unsoundly flag the second.
+    #[test]
+    fn full_width_tags_do_not_alias_high_addresses() {
+        let mut r = Rmnm::new(RmnmConfig::new(8, 1), 1);
+        let low = 0x0000_0000_2fc0_u64 >> 5;
+        let high = low | (1u64 << 40); // same low 32 bits after the shift
+        r.on_replace(0, low);
+        assert!(r.is_definite_miss(0, low));
+        assert!(
+            !r.is_definite_miss(0, high),
+            "a block differing only above bit 32 must not inherit the miss bit"
+        );
+        // And the reverse direction: placing the high alias must not clear
+        // the low block's (still valid) miss information.
+        r.on_place(0, high);
+        assert!(r.is_definite_miss(0, low));
     }
 
     #[test]

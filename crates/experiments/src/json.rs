@@ -145,6 +145,11 @@ impl Json {
 
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
+        // JSON has no NaN/Infinity literal. Encode deterministically as
+        // `null` — but loudly: a non-finite number in a results artifact
+        // means some metric divided by zero upstream, and silently losing
+        // it makes the regression gate compare nulls forever after.
+        eprintln!("json: warning: non-finite number ({n}) encoded as null");
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 9.0e15 {
         // Integral values print without a fractional part or exponent.
@@ -367,9 +372,21 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { offset: start, message: format!("invalid number `{text}`") })
+        let n = text.parse::<f64>().map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number `{text}`"),
+        })?;
+        // `str::parse` accepts exponents like `1e999` by saturating to
+        // infinity. The writer never emits such a number (non-finite values
+        // render as `null`), so a document carrying one is corrupt — reject
+        // it instead of letting an Infinity leak into diff arithmetic.
+        if !n.is_finite() {
+            return Err(JsonError {
+                offset: start,
+                message: format!("number `{text}` overflows f64"),
+            });
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -432,6 +449,31 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "{\"a\":}"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_encode_as_null_deterministically() {
+        for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(n).render(), "null");
+            assert_eq!(Json::Num(n).render_pretty(), "null\n");
+        }
+        // In context: the document stays valid JSON and round-trips with
+        // the non-finite value demoted to Null.
+        let doc = Json::obj(vec![("ok", Json::num(1)), ("bad", Json::Num(f64::NAN))]);
+        let rendered = doc.render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.get("ok").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(back.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_numbers_overflowing_to_infinity() {
+        for bad in ["1e999", "-1e999", "[1, 2e400]", "{\"x\": 1e309}"] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(e.message.contains("overflows"), "{bad}: {e}");
+        }
+        // Large-but-finite values still parse.
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
     }
 
     #[test]

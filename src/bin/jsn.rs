@@ -6,6 +6,8 @@
 //! jsn coverage <app> [labels...]             per-config coverage for one app
 //! jsn trace <app> -o FILE [-n N]             persist a binary trace
 //! jsn diff <a.json> <b.json> [--tol X]       compare two results artifacts
+//! jsn check [--seeds N] [--filter F] [--gen G] [--seed S] [--len N]
+//!                                            differential soundness checker
 //! jsn help                                   this text
 //! ```
 //!
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         Some("coverage") => cmd_coverage(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("diff") => return cmd_diff(&args[1..]),
+        Some("check") => return cmd_check(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -51,10 +54,18 @@ fn print_help() {
          \n\
          USAGE:\n  jsn apps\n  jsn run <app> [--config LABEL] [-n N] [--cpu] [--json]\n  \
          jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n  \
-         jsn diff <a.json> <b.json> [--tol X]\n\
+         jsn diff <a.json> <b.json> [--tol X]\n  \
+         jsn check [--seeds N] [--len N] [--filter LABEL] [--gen G] [--seed S] [--json] [-o FILE]\n\
          \n\
          Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
-         RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>."
+         RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>.\n\
+         \n\
+         check sweeps every filter family against the perfect oracle and an\n\
+         independent reference cache model over randomized traces\n\
+         (generators: profile, aliasing, flush, saturation); a failure is\n\
+         shrunk to a minimal reproducer and printed with its replay line.\n\
+         `--filter`/`--gen`/`--seed` restrict the sweep to replay one\n\
+         scenario."
     );
 }
 
@@ -300,6 +311,88 @@ fn run_diff(args: &[String]) -> Result<ExitCode, String> {
         println!("  {d}");
     }
     Ok(ExitCode::FAILURE)
+}
+
+/// `jsn check`: the differential soundness sweep. Exits 0 when every
+/// scenario upholds the invariants, 1 when a violation was found (the
+/// shrunk reproducer and its replay line are printed).
+fn cmd_check(args: &[String]) -> ExitCode {
+    match run_check(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> Result<ExitCode, String> {
+    use just_say_no::mnm_check::{run_scenario, run_suite, Scenario, SuiteReport, TraceGen};
+
+    let seeds = parse_n(args, "--seeds", 8)?;
+    let len = parse_n(args, "--len", 4000)? as usize;
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = parse_opt(args, "-o");
+    let filter_arg = parse_opt(args, "--filter");
+    let gen_arg = match parse_opt(args, "--gen") {
+        None => None,
+        Some(g) => Some(TraceGen::parse(g).ok_or_else(|| {
+            format!("unknown generator `{g}` (expected profile, aliasing, flush, or saturation)")
+        })?),
+    };
+
+    let report = if let Some(seed_text) = parse_opt(args, "--seed") {
+        // Replay mode: one fully-pinned scenario, as printed in a failure's
+        // replay line.
+        let seed = parse_seed(seed_text)?;
+        let filter = filter_arg.ok_or("replaying a seed needs --filter")?;
+        let gen = gen_arg.ok_or("replaying a seed needs --gen")?;
+        let scenario = Scenario { filter: filter.to_owned(), gen, seed, len };
+        SuiteReport { scenarios: vec![run_scenario(&scenario)?] }
+    } else {
+        let filters: Vec<&str> = match filter_arg {
+            Some(f) => vec![f],
+            None => just_say_no::mnm_check::DEFAULT_FILTERS.to_vec(),
+        };
+        let gens: Vec<TraceGen> = match gen_arg {
+            Some(g) => vec![g],
+            None => TraceGen::ALL.to_vec(),
+        };
+        run_suite(&filters, &gens, seeds, len)?
+    };
+
+    if let Some(path) = out_path {
+        std::fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if json {
+        print!("{}", report.to_json().render_pretty());
+    } else if report.passed() {
+        println!(
+            "check passed: {} scenario(s), {} accesses, every definite-miss flag, \
+             event stream, and stats reconciliation held",
+            report.scenarios.len(),
+            report.total_accesses()
+        );
+    } else {
+        for failure in report.failures() {
+            print!("{}", failure.render_failure());
+        }
+        println!(
+            "check FAILED: {} of {} scenario(s) violated an invariant",
+            report.failures().len(),
+            report.scenarios.len()
+        );
+    }
+    Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("--seed {text}: expected a decimal or 0x-prefixed integer"))
 }
 
 fn cmd_coverage(args: &[String]) -> Result<(), String> {

@@ -13,6 +13,7 @@
 //! * [`ooo_model`] — the 8-way out-of-order timing model.
 //! * [`power_model`] — the CACTI-style energy model.
 //! * [`mnm_experiments`] — harness regenerating every table and figure.
+//! * [`mnm_check`] — differential soundness checker (`jsn check`).
 //!
 //! ## Quickstart
 //!
@@ -34,6 +35,7 @@
 //! ```
 
 pub use cache_sim;
+pub use mnm_check;
 pub use mnm_core;
 pub use mnm_experiments;
 pub use ooo_model;
