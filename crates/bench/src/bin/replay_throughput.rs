@@ -143,6 +143,14 @@ fn main() {
     }
 
     let report = render_report(&results);
-    std::fs::write("BENCH_replay.json", &report).expect("write BENCH_replay.json");
+    // Atomic + retrying write: a crash mid-write (or an injected torn
+    // write) must never leave a half-baked benchmark artifact behind.
+    if let Err(e) = mnm_experiments::fsio::write_artifact(
+        std::path::Path::new("BENCH_replay.json"),
+        report.as_bytes(),
+    ) {
+        eprintln!("error: failed to write BENCH_replay.json: {e}");
+        std::process::exit(1);
+    }
     println!("\nwrote BENCH_replay.json");
 }

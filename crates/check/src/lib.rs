@@ -28,6 +28,7 @@
 //! `Random` replacement draws from a private per-cache stream that a
 //! bypass would desynchronize, so the checker rejects it up front.
 
+pub mod corrupt;
 pub mod generate;
 pub mod harness;
 pub mod reference;
@@ -211,7 +212,23 @@ impl ScenarioReport {
 }
 
 /// Run one scenario: generate the trace, check it, and shrink on failure.
+///
+/// When the installed fault plan (`JSN_FAULT`) selects this scenario's
+/// site for a `flip`, the run goes through
+/// [`corrupt::run_corrupted_scenario`] instead: one filter-state bit is
+/// flipped mid-trace and the checker is expected to catch the lie.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    if !scenario.filter.eq_ignore_ascii_case("perfect") {
+        if let Some(seed) = mnm_experiments::faults::flip_seed(&corrupt::scenario_site(scenario)) {
+            return corrupt::run_corrupted_scenario(scenario, seed);
+        }
+    }
+    run_plain_scenario(scenario)
+}
+
+/// The uncorrupted scenario path (also the fallback when no corrupting
+/// flip exists for a fault-selected scenario).
+pub(crate) fn run_plain_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     let ops = scenario.gen.generate(scenario.seed, scenario.len);
     let mut hierarchy = scenario.hierarchy();
     let mut filter = build_filter(&scenario.filter, &hierarchy)?;

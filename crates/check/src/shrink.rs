@@ -126,4 +126,37 @@ mod tests {
             assert!(!fails(&without), "removing op {i} should break the failure");
         }
     }
+
+    #[test]
+    fn empty_trace_shrinks_to_empty() {
+        let mut probes = 0usize;
+        let shrunk = shrink_ops(&[], |_| {
+            probes += 1;
+            true
+        });
+        assert!(shrunk.is_empty());
+        // Deleting from nothing yields only empty candidates, which are
+        // never accepted; the loop must still terminate promptly.
+        assert_eq!(probes, 0, "no candidate to probe on an empty trace");
+    }
+
+    #[test]
+    fn single_op_trace_is_already_minimal() {
+        let ops = ops_of(&[0xBAD]);
+        let shrunk = shrink_ops(&ops, |candidate| {
+            candidate.iter().any(|o| matches!(o, Op::Access(a) if a.addr == 0xBAD))
+        });
+        assert_eq!(shrunk, ops);
+    }
+
+    #[test]
+    fn failure_that_vanishes_under_bisection_returns_the_original() {
+        // A non-deterministic (or state-dependent) failure that never
+        // reproduces on any sub-trace: the contract says keep the best
+        // reduction so far, which is the untouched original.
+        let ops = ops_of(&(0..64).map(|i| i * 0x40).collect::<Vec<_>>());
+        let full_len = ops.len();
+        let shrunk = shrink_ops(&ops, |candidate| candidate.len() == full_len);
+        assert_eq!(shrunk, ops, "no deletion reproduces, so nothing may be dropped");
+    }
 }

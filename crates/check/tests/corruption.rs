@@ -1,0 +1,91 @@
+//! End-to-end corruption drills: with a `flip` fault plan installed, the
+//! checker must catch every injected filter-state bit flip as an
+//! `UnsoundFlag` soundness violation and produce a shrunk reproducer.
+//!
+//! The fault plan is process-global, so every test here serializes on one
+//! lock and restores the no-plan state before releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mnm_check::harness::ViolationKind;
+use mnm_check::{run_scenario, Scenario, TraceGen};
+use mnm_experiments::faults::{injected, install, FaultPlan};
+
+static FAULT_STATE: Mutex<()> = Mutex::new(());
+
+/// Serialize tests on the process-global fault plan; a panicking peer
+/// poisons the mutex but leaves nothing worth protecting.
+fn lock_faults() -> MutexGuard<'static, ()> {
+    FAULT_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scenario(filter: &str) -> Scenario {
+    Scenario { filter: filter.to_owned(), gen: TraceGen::Aliasing, seed: 0x51, len: 1500 }
+}
+
+#[test]
+fn every_injected_flip_is_caught_with_a_reproducer() {
+    let _guard = lock_faults();
+    install(Some(FaultPlan::parse("seed=11,flip=1/1").unwrap()));
+
+    for filter in ["TMNM_12x1", "SMNM_13x2", "CMNM_8_12"] {
+        let report = run_scenario(&scenario(filter)).unwrap();
+        let violation = report
+            .violation
+            .unwrap_or_else(|| panic!("{filter}: injected bit flip escaped the checker"));
+        assert_eq!(violation.kind, ViolationKind::UnsoundFlag, "{filter}");
+        assert!(
+            violation.detail.contains("flagged a definite miss"),
+            "{filter}: {}",
+            violation.detail
+        );
+        let repro = report.reproducer.expect("shrunk reproducer");
+        assert!(!repro.is_empty(), "{filter}: reproducer must retain the witness");
+        assert!(
+            repro.len() < 1500 / 2 + 1,
+            "{filter}: reproducer did not shrink below the checked stream ({} ops)",
+            repro.len()
+        );
+    }
+
+    // Every corruption was logged as an injected fault.
+    let flips: Vec<_> = injected().into_iter().filter(|f| f.kind == "flip").collect();
+    assert_eq!(flips.len(), 3, "one recorded flip per corrupted scenario");
+
+    install(None);
+}
+
+#[test]
+fn corrupted_runs_are_deterministic() {
+    let _guard = lock_faults();
+    install(Some(FaultPlan::parse("seed=23,flip=1/1").unwrap()));
+
+    let a = run_scenario(&scenario("SMNM_13x2")).unwrap();
+    let b = run_scenario(&scenario("SMNM_13x2")).unwrap();
+    let index = |r: &mnm_check::ScenarioReport| r.violation.as_ref().map(|v| (v.index, v.kind));
+    assert_eq!(index(&a), index(&b));
+    assert_eq!(a.reproducer.map(|o| o.len()), b.reproducer.map(|o| o.len()));
+
+    install(None);
+}
+
+#[test]
+fn the_oracle_filter_is_never_corrupted() {
+    let _guard = lock_faults();
+    install(Some(FaultPlan::parse("seed=3,flip=1/1").unwrap()));
+
+    let report = run_scenario(&scenario("PERFECT")).unwrap();
+    assert!(report.violation.is_none(), "the perfect filter has no state to flip");
+
+    install(None);
+}
+
+#[test]
+fn without_a_plan_the_scenario_runs_clean() {
+    let _guard = lock_faults();
+    install(None);
+
+    let report = run_scenario(&scenario("TMNM_12x1")).unwrap();
+    assert!(report.violation.is_none());
+    assert!(injected().is_empty());
+}

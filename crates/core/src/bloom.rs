@@ -121,6 +121,26 @@ impl MissFilter for BloomFilter {
     fn label(&self) -> String {
         self.config.label()
     }
+
+    fn state_bits(&self) -> u64 {
+        self.storage_bits()
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) -> bool {
+        let width = u64::from(self.config.counter_bits);
+        let Some(counter) = self.counters.get_mut((bit / width) as usize) else {
+            return false;
+        };
+        *counter ^= 1 << (bit % width);
+        true
+    }
+
+    fn state_bit_of(&self, block: u64) -> Option<u64> {
+        // The low bit of the first hash's counter: one zero counter among
+        // the k is enough to flag a definite miss.
+        let slot = mix(block, 0) & self.mask;
+        Some(slot * u64::from(self.config.counter_bits))
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,30 @@ impl MissFilter for Cmnm {
         // rehash allocations.
         self.live.reserve(max_live_blocks.saturating_sub(self.live.capacity()));
     }
+
+    fn state_bits(&self) -> u64 {
+        // Only the counter table is bit-addressable; the virtual-tag
+        // registers and the per-block pairing map are modelled, not SRAM.
+        self.counters.len() as u64 * u64::from(self.config.counter_bits)
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) -> bool {
+        let width = u64::from(self.config.counter_bits);
+        let Some(counter) = self.counters.get_mut((bit / width) as usize) else {
+            return false;
+        };
+        *counter ^= 1 << (bit % width);
+        true
+    }
+
+    fn state_bit_of(&self, block: u64) -> Option<u64> {
+        // The low bit of the counter the block maps to under the first
+        // matching register (a resident block always still matches the
+        // register it was counted under).
+        let (high, low) = self.split(block);
+        let reg = self.find_register(high)?;
+        Some(self.table_index(reg, low) as u64 * u64::from(self.config.counter_bits))
+    }
 }
 
 #[cfg(test)]
@@ -340,5 +364,20 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_registers() {
         CmnmConfig::new(3, 10);
+    }
+
+    #[test]
+    fn flipping_the_guarding_counter_bit_makes_a_live_block_lie() {
+        let mut f = cmnm(4, 8);
+        f.on_place(0x0040_0001);
+        assert!(!f.is_definite_miss(0x0040_0001));
+        let bit = f.state_bit_of(0x0040_0001).expect("resident block matches a register");
+        assert!(f.flip_state_bit(bit));
+        assert!(f.is_definite_miss(0x0040_0001), "counter 1 -> 0: the filter now lies");
+        assert!(f.flip_state_bit(bit));
+        assert!(!f.is_definite_miss(0x0040_0001));
+        // A block no register covers has no guarding bit.
+        assert_eq!(f.state_bit_of(0x7700_0000), None);
+        assert!(!f.flip_state_bit(f.state_bits()));
     }
 }

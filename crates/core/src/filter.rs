@@ -43,4 +43,29 @@ pub trait MissFilter: std::fmt::Debug + Send {
     /// bookkeeping pre-size it here so the per-access hot path never
     /// allocates; the hardware-shaped tables ignore this.
     fn reserve(&mut self, _max_live_blocks: usize) {}
+
+    /// Number of state bits addressable by [`MissFilter::flip_state_bit`].
+    /// Zero (the default) means the filter exposes no fault surface.
+    fn state_bits(&self) -> u64 {
+        0
+    }
+
+    /// Fault-injection hook: XOR one bit of the filter's internal state,
+    /// emulating a soft error in the hardware tables. This is **only** for
+    /// the soundness checker (`crates/check`), which proves that injected
+    /// corruption is caught as a contract violation; nothing on the
+    /// simulation path calls it. Returns `false` when `bit` is out of
+    /// range or the filter exposes no fault surface.
+    fn flip_state_bit(&mut self, _bit: u64) -> bool {
+        false
+    }
+
+    /// The state-bit index (as addressed by [`MissFilter::flip_state_bit`])
+    /// whose corruption most directly affects `block` — e.g. the low bit
+    /// of the counter the block maps to. Used by the checker to aim an
+    /// injected fault at a resident block. `None` when the filter exposes
+    /// no fault surface or no state guards this block.
+    fn state_bit_of(&self, _block: u64) -> Option<u64> {
+        None
+    }
 }

@@ -304,6 +304,44 @@ impl Mnm {
         self.slots.iter().map(|s| (s.name.clone(), s.level)).collect()
     }
 
+    /// The [`StructureId`] each slot guards, in slot order.
+    pub fn slot_structures(&self) -> Vec<StructureId> {
+        self.slots.iter().map(|s| s.structure).collect()
+    }
+
+    /// Fault-injection surface: `(slot, filter, state_bits)` for every
+    /// component filter that exposes flippable state. The soundness
+    /// checker uses this to aim [`Mnm::flip_filter_bit`]; nothing on the
+    /// simulation path consults it.
+    pub fn fault_surface(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (si, slot) in self.slots.iter().enumerate() {
+            for (fi, f) in slot.filters.iter().enumerate() {
+                let bits = f.state_bits();
+                if bits > 0 {
+                    out.push((si, fi, bits));
+                }
+            }
+        }
+        out
+    }
+
+    /// XOR one state bit of the component filter at `(slot, filter)`,
+    /// emulating a soft error. Returns whether a bit was actually flipped.
+    pub fn flip_filter_bit(&mut self, slot: usize, filter: usize, bit: u64) -> bool {
+        self.slots
+            .get_mut(slot)
+            .and_then(|s| s.filters.get_mut(filter))
+            .is_some_and(|f| f.flip_state_bit(bit))
+    }
+
+    /// The state bit of component `(slot, filter)` guarding the MNM block
+    /// containing byte address `addr`, if the filter exposes one.
+    pub fn state_bit_of(&self, slot: usize, filter: usize, addr: u64) -> Option<u64> {
+        let block = self.granularity.block_of(addr);
+        self.slots.get(slot)?.filters.get(filter)?.state_bit_of(block)
+    }
+
     /// Reset all filter state and statistics.
     ///
     /// **Soundness caveat**: this clears only the MNM side. Cold SMNM
@@ -556,5 +594,33 @@ mod tests {
         }
         // Sanity: the machine actually did something.
         assert!(mnm.stats().bypassable_misses() > 0);
+    }
+
+    #[test]
+    fn flipping_a_guarding_bit_makes_the_machine_lie() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_12x1").unwrap());
+        mnm.run_access(&mut hier, Access::load(0x1000));
+        // Resident everywhere: nothing flagged.
+        assert!(mnm.query(Access::load(0x1000)).is_empty());
+
+        let surface = mnm.fault_surface();
+        assert_eq!(surface.len(), 2, "one TMNM per guarded level");
+        assert!(surface.iter().all(|&(_, _, bits)| bits == 4096 * 3));
+        assert_eq!(mnm.slot_structures().len(), 2);
+
+        // Corrupt the ul2 TMNM's counter for the resident block: the
+        // machine now (unsoundly) flags the guarded structure.
+        let (slot, filter, _) = surface[0];
+        let bit = mnm.state_bit_of(slot, filter, 0x1000).unwrap();
+        assert!(mnm.flip_filter_bit(slot, filter, bit));
+        let bypass = mnm.query(Access::load(0x1000));
+        assert!(bypass.contains(mnm.slot_structures()[slot]), "corruption must surface as a lie");
+        // Flip back: honest again.
+        assert!(mnm.flip_filter_bit(slot, filter, bit));
+        assert!(mnm.query(Access::load(0x1000)).is_empty());
+        // Out-of-range coordinates are rejected, not panics.
+        assert!(!mnm.flip_filter_bit(99, 0, 0));
+        assert!(mnm.state_bit_of(99, 0, 0x1000).is_none());
     }
 }

@@ -114,6 +114,20 @@ impl SmnmChecker {
     pub fn flip_flops(&self) -> u64 {
         self.present.len() as u64
     }
+
+    /// Toggle one flip-flop (fault injection). Bit `i` is `present[i]`.
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        let Some(slot) = self.present.get_mut(bit as usize) else {
+            return false;
+        };
+        *slot = !*slot;
+        true
+    }
+
+    /// The flip-flop index guarding `block` in this checker.
+    pub fn state_bit_of(&self, block: u64) -> u64 {
+        self.hash(block) as u64
+    }
 }
 
 /// A per-structure SMNM filter: `replication` parallel checkers.
@@ -168,6 +182,26 @@ impl MissFilter for SmnmFilter {
 
     fn label(&self) -> String {
         self.config.label()
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.storage_bits()
+    }
+
+    fn flip_state_bit(&mut self, mut bit: u64) -> bool {
+        for c in &mut self.checkers {
+            if bit < c.flip_flops() {
+                return c.flip_bit(bit);
+            }
+            bit -= c.flip_flops();
+        }
+        false
+    }
+
+    fn state_bit_of(&self, block: u64) -> Option<u64> {
+        // Clearing the first checker's flip-flop for a live block's hash
+        // makes that checker reject it — one checker's rejection flags.
+        Some(self.checkers[0].state_bit_of(block))
     }
 }
 
@@ -260,5 +294,19 @@ mod tests {
     #[should_panic(expected = "replication")]
     fn rejects_excess_replication() {
         SmnmConfig::new(10, 4);
+    }
+
+    #[test]
+    fn flipping_the_guarding_flip_flop_makes_an_admitted_block_lie() {
+        let mut f = SmnmFilter::new(SmnmConfig::new(10, 2));
+        f.on_place(42);
+        assert!(!f.is_definite_miss(42));
+        let bit = f.state_bit_of(42).unwrap();
+        assert!(f.flip_state_bit(bit));
+        assert!(f.is_definite_miss(42), "cleared flip-flop: the filter now lies");
+        assert!(f.flip_state_bit(bit));
+        assert!(!f.is_definite_miss(42));
+        assert_eq!(f.state_bits(), f.storage_bits());
+        assert!(!f.flip_state_bit(f.state_bits()));
     }
 }

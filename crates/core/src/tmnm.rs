@@ -116,6 +116,32 @@ impl TmnmTable {
     pub fn reset(&mut self) {
         self.counters.fill(0);
     }
+
+    /// Width of one counter in bits.
+    pub fn counter_bits(&self) -> u32 {
+        u8::BITS - self.max.leading_zeros()
+    }
+
+    /// Total state bits in this table (counter count × counter width).
+    pub fn state_bits(&self) -> u64 {
+        self.counters.len() as u64 * u64::from(self.counter_bits())
+    }
+
+    /// XOR one bit of the table state (fault injection). Bits are numbered
+    /// counter-major: bit `i` is bit `i % width` of counter `i / width`.
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        let width = u64::from(self.counter_bits());
+        let Some(counter) = self.counters.get_mut((bit / width) as usize) else {
+            return false;
+        };
+        *counter ^= 1 << (bit % width);
+        true
+    }
+
+    /// The lowest state bit of the counter `block` maps to.
+    pub fn state_bit_of(&self, block: u64) -> u64 {
+        self.slot(block) as u64 * u64::from(self.counter_bits())
+    }
 }
 
 /// A per-structure TMNM filter: `replication` parallel tables.
@@ -173,6 +199,26 @@ impl MissFilter for TmnmFilter {
 
     fn label(&self) -> String {
         self.config.label()
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.tables.iter().map(TmnmTable::state_bits).sum()
+    }
+
+    fn flip_state_bit(&mut self, mut bit: u64) -> bool {
+        for t in &mut self.tables {
+            if bit < t.state_bits() {
+                return t.flip_bit(bit);
+            }
+            bit -= t.state_bits();
+        }
+        false
+    }
+
+    fn state_bit_of(&self, block: u64) -> Option<u64> {
+        // The first table's counter for this block: any table reporting an
+        // empty slot flags a definite miss, so corrupting one table can lie.
+        Some(self.tables[0].state_bit_of(block))
     }
 }
 
@@ -263,5 +309,26 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(TmnmConfig::new(12, 3).label(), "TMNM_12x3");
         assert_eq!(TmnmConfig::with_counter_bits(10, 1, 2).label(), "TMNM_10x1c2");
+    }
+
+    #[test]
+    fn fault_surface_matches_storage() {
+        let f = TmnmFilter::new(TmnmConfig::new(6, 2));
+        assert_eq!(f.state_bits(), f.storage_bits());
+        assert_eq!(f.state_bits(), 2 * 64 * 3);
+    }
+
+    #[test]
+    fn flipping_the_guarding_bit_makes_a_live_block_lie() {
+        let mut f = TmnmFilter::new(TmnmConfig::new(6, 1));
+        f.on_place(0x12);
+        assert!(!f.is_definite_miss(0x12));
+        let bit = f.state_bit_of(0x12).unwrap();
+        assert!(f.flip_state_bit(bit), "bit {bit} must be in range");
+        assert!(f.is_definite_miss(0x12), "counter 1 -> 0: the filter now lies");
+        // Flipping again restores the original state.
+        assert!(f.flip_state_bit(bit));
+        assert!(!f.is_definite_miss(0x12));
+        assert!(!f.flip_state_bit(f.state_bits()), "out-of-range bit is rejected");
     }
 }

@@ -1,150 +1,32 @@
-//! Regenerate every table and figure, printing each and writing markdown
-//! plus a machine-readable run manifest into the output directory
-//! (`JSN_OUT`, default `results/`).
+//! Regenerate every table and figure under supervision, printing each and
+//! writing markdown plus a machine-readable run manifest into the output
+//! directory (`JSN_OUT`, default `results/`).
+//!
+//! Thin wrapper over the library's supervised sweep — `jsn run-all` is the
+//! same code with the same flags (`-o`, `--resume`, `--deadline`,
+//! `--retries`, `--only`, `--quiet`). See `EXPERIMENTS.md` for the
+//! journal/resume walkthrough and the `JSN_FAULT` fault-injection syntax.
 //!
 //! Artifacts:
 //!
 //! * `all_experiments.md` — every table as GitHub markdown.
 //! * `all_experiments.json` — a `jsn-run-manifest/v1` document: every
 //!   table's cells, per-experiment wall time, per-app/per-config
-//!   simulation counters, worker-pool telemetry, and the run
-//!   parameters/`JSN_*` knobs in force. `jsn diff` compares two of these.
-
-use std::fs;
-use std::time::Instant;
-
-use mnm_experiments::ablation;
-use mnm_experiments::coverage::coverage_table;
-use mnm_experiments::depth::depth_fractions;
-use mnm_experiments::extensions;
-use mnm_experiments::metrics::{self, RunManifest};
-use mnm_experiments::power::power_reduction_table;
-use mnm_experiments::timing::{characteristics_table, execution_reduction_table};
-use mnm_experiments::{
-    params, RunParams, Table, FIG10_CONFIGS, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
-    FIG14_CONFIGS,
-};
-
-fn emit(md: &mut String, table: &Table) {
-    print!("{}", table.render());
-    println!();
-    md.push_str(&table.to_markdown());
-    md.push('\n');
-}
+//!   simulation counters, worker-pool telemetry, supervisor job reports,
+//!   and the run parameters/`JSN_*` knobs in force. `jsn diff` compares
+//!   two of these.
+//! * `journal.jsonl` — while running (and after an interrupted or failed
+//!   run): the checkpoint journal `--resume` continues from. Removed on a
+//!   fully successful sweep.
 
 fn main() {
-    let params = RunParams::from_env();
-    let threads = params::worker_threads();
-    metrics::enable_telemetry();
-    let started = Instant::now();
-
-    let mut md = String::from("# Generated experiment results\n\n");
-    md.push_str(&format!(
-        "Parameters: warmup {} + measured {} instructions per app ({} worker threads).\n\n",
-        params.warmup, params.measure, threads
-    ));
-    let mut manifest =
-        RunManifest { params: Some(params), threads: threads as u64, ..Default::default() };
-
-    // Figures 2 and 3 come from one simulation pass; time them together
-    // and split the wall time evenly between the two records.
-    {
-        let t0 = Instant::now();
-        let (fig2, fig3) = depth_fractions(params);
-        let half = t0.elapsed() / 2;
-        emit(&mut md, &fig2);
-        emit(&mut md, &fig3);
-        manifest.push("fig02_miss_time_fraction", half, fig2);
-        manifest.push("fig03_miss_power_fraction", half, fig3);
-    }
-
-    // Each remaining experiment is (slug, generator); generators run one
-    // at a time so per-experiment wall time is attributable.
-    type Gen = Box<dyn FnOnce() -> Table>;
-    let experiments: Vec<(&str, Gen)> = {
-        vec![
-            ("table2_characteristics", Box::new(move || characteristics_table(params))),
-            (
-                "fig10_rmnm_coverage",
-                Box::new(move || {
-                    coverage_table("Figure 10: RMNM coverage [%]", &FIG10_CONFIGS, params)
-                }),
-            ),
-            (
-                "fig11_smnm_coverage",
-                Box::new(move || {
-                    coverage_table("Figure 11: SMNM coverage [%]", &FIG11_CONFIGS, params)
-                }),
-            ),
-            (
-                "fig12_tmnm_coverage",
-                Box::new(move || {
-                    coverage_table("Figure 12: TMNM coverage [%]", &FIG12_CONFIGS, params)
-                }),
-            ),
-            (
-                "fig13_cmnm_coverage",
-                Box::new(move || {
-                    coverage_table("Figure 13: CMNM coverage [%]", &FIG13_CONFIGS, params)
-                }),
-            ),
-            (
-                "fig14_hmnm_coverage",
-                Box::new(move || {
-                    coverage_table("Figure 14: HMNM coverage [%]", &FIG14_CONFIGS, params)
-                }),
-            ),
-            ("fig15_execution_reduction", Box::new(move || execution_reduction_table(params))),
-            ("fig16_power_reduction", Box::new(move || power_reduction_table(params))),
-            ("ablation_placement", Box::new(move || ablation::placement_table(params))),
-            ("ablation_counter_width", Box::new(move || ablation::counter_width_table(params))),
-            ("ablation_rmnm_sweep", Box::new(move || ablation::rmnm_sweep_table(params))),
-            ("ablation_delay", Box::new(move || ablation::delay_table(params))),
-            ("ablation_inclusion", Box::new(move || ablation::inclusion_table(params))),
-            ("ablation_phase_drift", Box::new(move || ablation::phase_drift_table(params))),
-            ("ablation_l1_size", Box::new(move || ablation::l1_size_table(params))),
-            ("ext_distributed", Box::new(move || extensions::distributed_table(params))),
-            ("ext_tlb_filter", Box::new(move || extensions::tlb_filter_table(params))),
-            ("ext_scheduler_replay", Box::new(move || extensions::scheduler_replay_table(params))),
-            (
-                "related_way_prediction",
-                Box::new(move || mnm_experiments::related_work::way_prediction_table(params)),
-            ),
-            ("related_bloom", Box::new(move || mnm_experiments::related_work::bloom_table(params))),
-        ]
-    };
-
-    for (name, generate) in experiments {
-        let t0 = Instant::now();
-        let table = generate();
-        let wall = t0.elapsed();
-        emit(&mut md, &table);
-        manifest.push(name, wall, table);
-    }
-
-    manifest.absorb_telemetry();
-    manifest.total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    let out = metrics::out_dir();
-    if let Err(e) = fs::create_dir_all(&out) {
-        eprintln!("error: cannot create output directory {}: {e}", out.display());
-        std::process::exit(1);
-    }
-    let md_path = out.join("all_experiments.md");
-    match fs::write(&md_path, &md) {
-        Ok(()) => println!("wrote {}", md_path.display()),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mnm_experiments::sweep::cli_main(&args) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
         Err(e) => {
-            eprintln!("error: could not write {}: {e}", md_path.display());
-            std::process::exit(1);
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
     }
-    let json_path = out.join("all_experiments.json");
-    match fs::write(&json_path, manifest.to_json().render_pretty()) {
-        Ok(()) => println!("wrote {}", json_path.display()),
-        Err(e) => {
-            eprintln!("error: could not write {}: {e}", json_path.display());
-            std::process::exit(1);
-        }
-    }
-    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
 }

@@ -1,0 +1,129 @@
+//! Crash-safe artifact writes.
+//!
+//! Every JSON/markdown artifact the workspace emits goes through
+//! [`write_atomic`]: the bytes land in a temp file in the same directory,
+//! are fsynced, and are renamed over the destination. A crash (or an
+//! injected torn write) at any point leaves either the old file or the new
+//! file — never a half-written one. [`write_artifact`] adds the retry
+//! policy for injected faults: a torn write is retried (the fault layer
+//! fires once per site), a real I/O error surfaces immediately.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::faults;
+
+/// Write `bytes` to `path` atomically: temp file + fsync + rename.
+///
+/// Consults the fault layer — an injected torn write aborts halfway
+/// through the temp file and reports an error, leaving `path` untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+
+    let mut f = std::fs::File::create(&tmp)?;
+    if faults::torn_write(file_name) {
+        // Emulate a crash mid-write: half the payload, no fsync, no rename.
+        // The temp file is removed so the fault leaves no debris either.
+        let _ = f.write_all(&bytes[..bytes.len() / 2]);
+        drop(f);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(std::io::Error::other(format!("injected fault: torn write of `{file_name}`")));
+    }
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+
+    // Make the rename itself durable. Best-effort: directory fsync is a
+    // Unix-ism and failure here cannot un-write the data.
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) =
+            std::fs::File::open(if parent.as_os_str().is_empty() { Path::new(".") } else { parent })
+        {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`write_atomic`] with recovery for injected faults: retries torn writes
+/// (up to 3 attempts), surfaces real I/O errors immediately.
+pub fn write_artifact(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut last = None;
+    for _attempt in 0..3 {
+        match write_atomic(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.to_string().contains("injected fault") => {
+                eprintln!("recovering: {e}; retrying write of {}", path.display());
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("write_artifact: no attempts ran")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{self, FaultPlan};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("jsn-fsio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces_atomically() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No temp debris.
+        assert!(!dir.join("out.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_old_contents_and_retry_recovers() {
+        let _guard = faults::TEST_LOCK.lock().unwrap();
+        let dir = tmp_dir("torn");
+        let path = dir.join("results.json");
+        write_atomic(&path, b"old-contents").unwrap();
+
+        faults::install(Some(FaultPlan::parse("torn=results.json").unwrap()));
+        let err = write_atomic(&path, b"new-contents-new-contents").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The destination is untouched and no torn temp file survives.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old-contents");
+        assert!(!dir.join("results.json.tmp").exists());
+
+        // write_artifact retries past the one-shot fault.
+        let path2 = dir.join("other.json");
+        faults::install(Some(FaultPlan::parse("torn=other.json").unwrap()));
+        write_artifact(&path2, b"payload").unwrap();
+        assert_eq!(std::fs::read_to_string(&path2).unwrap(), "payload");
+        assert_eq!(faults::injected().len(), 1, "exactly one torn fault fired");
+
+        faults::install(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_io_errors_surface_without_retry() {
+        let dir = tmp_dir("ioerr");
+        let missing = dir.join("no-such-subdir").join("x.json");
+        let err = write_artifact(&missing, b"x").unwrap_err();
+        assert!(!err.to_string().contains("injected fault"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,6 +22,9 @@ pub mod analytic;
 pub mod coverage;
 pub mod depth;
 pub mod extensions;
+pub mod faults;
+pub mod fsio;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod params;
@@ -29,6 +32,8 @@ pub mod power;
 pub mod related_work;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
+pub mod sweep;
 pub mod timing;
 
 pub use json::Json;

@@ -32,13 +32,14 @@ pub const ENV_JSON: &str = "JSN_JSON";
 
 /// All `JSN_*` knobs the workspace reads, with one-line meanings. The
 /// manifest records the set ones; docs render this same list.
-pub const ENV_KNOBS: [(&str, &str); 6] = [
+pub const ENV_KNOBS: [(&str, &str); 7] = [
     ("JSN_WARMUP", "warmup instructions per app (default 300000)"),
     ("JSN_MEASURE", "measured instructions per app (default 2000000)"),
     ("JSN_THREADS", "worker threads for the parallel runner"),
     ("JSN_CHART", "also print figures as ASCII bar charts"),
     ("JSN_OUT", "output directory for results artifacts (default `results`)"),
     ("JSN_JSON", "figure binaries also write <out>/<slug>.json"),
+    ("JSN_FAULT", "deterministic fault-injection plan (see EXPERIMENTS.md)"),
 ];
 
 /// Output directory for results artifacts: `JSN_OUT` or `results`.
@@ -210,6 +211,10 @@ pub struct RunManifest {
     pub threads: u64,
     /// Total harness wall time (ms).
     pub total_wall_ms: f64,
+    /// Supervisor job reports (attempts, outcomes) for supervised sweeps.
+    pub jobs: Vec<crate::supervisor::JobReport>,
+    /// Faults the fault-injection layer actually fired during the run.
+    pub injected: Vec<crate::faults::InjectedFault>,
 }
 
 impl RunManifest {
@@ -276,7 +281,7 @@ impl RunManifest {
                 })
                 .collect(),
         );
-        Json::obj(vec![
+        let mut pairs = vec![
             ("schema", Json::str(Self::SCHEMA)),
             ("params", params),
             ("env", env),
@@ -285,7 +290,25 @@ impl RunManifest {
             ("experiments", experiments),
             ("app_runs", app_runs),
             ("worker_pools", pools),
-        ])
+        ];
+        // Supervision records ride along only for supervised runs so plain
+        // harness manifests (and the golden diff, which reads tables only)
+        // are unchanged.
+        if !self.jobs.is_empty() {
+            pairs.push((
+                "supervisor",
+                Json::Arr(self.jobs.iter().map(crate::supervisor::JobReport::to_json).collect()),
+            ));
+        }
+        if !self.injected.is_empty() {
+            pairs.push((
+                "injected_faults",
+                Json::Arr(
+                    self.injected.iter().map(crate::faults::InjectedFault::to_json).collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -368,7 +391,7 @@ pub fn emit(table: &Table) {
         return;
     }
     let path = dir.join(format!("{}.json", slug(&table.title)));
-    match std::fs::write(&path, doc.render_pretty()) {
+    match crate::fsio::write_artifact(&path, doc.render_pretty().as_bytes()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }

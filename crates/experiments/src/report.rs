@@ -164,6 +164,39 @@ impl Table {
         ])
     }
 
+    /// Parse the [`Table::to_json`] form back (journal resume). `null`
+    /// cells — non-finite values demoted by the JSON writer — come back as
+    /// NaN, exactly what `diff` arithmetic treats them as.
+    pub fn from_json(v: &Json) -> Result<Table, String> {
+        let title = v.get("title").and_then(Json::as_str).ok_or("table: missing `title`")?;
+        let key = v.get("key").and_then(Json::as_str).ok_or("table: missing `key`")?;
+        let precision =
+            v.get("precision").and_then(Json::as_f64).ok_or("table: missing `precision`")? as usize;
+        let columns: Vec<String> = v
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or("table: missing `columns`")?
+            .iter()
+            .map(|c| c.as_str().map(str::to_owned).ok_or("table: non-string column".to_owned()))
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        for row in v.get("rows").and_then(Json::as_arr).ok_or("table: missing `rows`")? {
+            let label = row.get("label").and_then(Json::as_str).ok_or("table: row label")?;
+            let values: Vec<f64> = row
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or("table: row values")?
+                .iter()
+                .map(|v| v.as_f64().unwrap_or(f64::NAN))
+                .collect();
+            if values.len() != columns.len() {
+                return Err(format!("table `{title}`: row `{label}` width mismatch"));
+            }
+            rows.push((label.to_owned(), values));
+        }
+        Ok(Table { title: title.to_owned(), key: key.to_owned(), columns, rows, precision })
+    }
+
     /// Render as a GitHub-flavoured markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -324,6 +357,18 @@ mod tests {
         // And the JSON cells are the exact table values.
         assert_eq!(json.get("title").and_then(Json::as_str), Some(t.title.as_str()));
         assert_eq!(rows[2].get("values").and_then(Json::as_arr).unwrap()[0].as_f64(), Some(33.333));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut t = sample();
+        t.push_row("twolf", vec![33.333, 0.05]);
+        t.push_mean_row();
+        t.precision = 3;
+        let back = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        // Malformed documents are rejected, not mis-parsed.
+        assert!(Table::from_json(&Json::obj(vec![("title", Json::str("x"))])).is_err());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Job supervision: panic isolation, wall-clock deadlines, bounded retries.
+//!
+//! [`supervise`] runs one experiment job on a dedicated thread under
+//! `catch_unwind`. A panicking job is caught and retried; a job that blows
+//! its deadline is abandoned (Rust offers no way to kill a thread, so the
+//! stalled thread is leaked — detached — and a fresh attempt starts) and
+//! retried. Every attempt is recorded in a [`JobReport`] that flows into
+//! the run manifest and the checkpoint journal, so a post-mortem can see
+//! exactly what happened to every job of a sweep.
+//!
+//! Leaked stalled threads may still be running while their retry executes;
+//! that is deliberate. Experiment jobs are pure functions of their
+//! parameters plus append-only telemetry, and result equality is judged on
+//! the (deterministic) tables alone, so a zombie's late writes are
+//! harmless noise at worst.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::faults;
+use crate::json::Json;
+
+/// Supervision policy for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Wall-clock budget per attempt; `None` waits forever.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt (so `retries = 2` allows 3 attempts).
+    pub retries: u32,
+    /// Base backoff before a retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig { deadline: None, retries: 2, backoff: Duration::from_millis(50) }
+    }
+}
+
+/// How one attempt of a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The job returned a value.
+    Ok,
+    /// The job panicked; the payload message is kept for the report.
+    Panicked(String),
+    /// The job exceeded the deadline and was abandoned.
+    TimedOut,
+}
+
+impl AttemptOutcome {
+    /// Stable label used in journals and manifests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttemptOutcome::Ok => "ok",
+            AttemptOutcome::Panicked(_) => "panicked",
+            AttemptOutcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// One attempt: outcome plus wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Wall time of the attempt in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// The supervisor's record of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Job name (also the fault-injection site).
+    pub name: String,
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl JobReport {
+    /// Whether the job eventually succeeded.
+    pub fn ok(&self) -> bool {
+        matches!(self.attempts.last(), Some(a) if a.outcome == AttemptOutcome::Ok)
+    }
+
+    /// `"ok"` or `"exhausted-retries"`.
+    pub fn verdict(&self) -> &'static str {
+        if self.ok() {
+            "ok"
+        } else {
+            "exhausted-retries"
+        }
+    }
+
+    /// JSON form for journals and manifests.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("job", Json::str(&self.name)),
+            ("verdict", Json::str(self.verdict())),
+            (
+                "attempts",
+                Json::Arr(
+                    self.attempts
+                        .iter()
+                        .map(|a| {
+                            let mut pairs = vec![
+                                ("outcome", Json::str(a.outcome.label())),
+                                ("wall_ms", Json::num(a.wall_ms as f64)),
+                            ];
+                            if let AttemptOutcome::Panicked(msg) = &a.outcome {
+                                pairs.push(("message", Json::str(msg)));
+                            }
+                            Json::obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form back (journal resume).
+    pub fn from_json(v: &Json) -> Result<JobReport, String> {
+        let name =
+            v.get("job").and_then(Json::as_str).ok_or("job report: missing `job`")?.to_owned();
+        let mut attempts = Vec::new();
+        for a in v.get("attempts").and_then(Json::as_arr).ok_or("job report: missing `attempts`")? {
+            let outcome = match a.get("outcome").and_then(Json::as_str) {
+                Some("ok") => AttemptOutcome::Ok,
+                Some("timed-out") => AttemptOutcome::TimedOut,
+                Some("panicked") => AttemptOutcome::Panicked(
+                    a.get("message").and_then(Json::as_str).unwrap_or("").to_owned(),
+                ),
+                other => return Err(format!("job report: bad outcome {other:?}")),
+            };
+            let wall_ms =
+                a.get("wall_ms").and_then(Json::as_f64).ok_or("job report: missing `wall_ms`")?
+                    as u64;
+            attempts.push(AttemptRecord { outcome, wall_ms });
+        }
+        Ok(JobReport { name, attempts })
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `job` under supervision. Returns the job's value (if any attempt
+/// succeeded) plus the full attempt record.
+///
+/// The job runs on its own thread so a deadline can abandon it; it is
+/// `Fn` (not `FnOnce`) because retries re-invoke it.
+pub fn supervise<T, F>(name: &str, cfg: SupervisorConfig, job: F) -> (Option<T>, JobReport)
+where
+    T: Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let job = Arc::new(job);
+    let mut report = JobReport { name: name.to_owned(), attempts: Vec::new() };
+
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            // Deterministic exponential backoff: base * 2^(attempt-1).
+            std::thread::sleep(cfg.backoff * (1u32 << (attempt - 1).min(16)));
+        }
+        let start = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let job = Arc::clone(&job);
+        let site = name.to_owned();
+        let handle = std::thread::Builder::new()
+            .name(format!("job-{name}-a{attempt}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    faults::before_job(&site, attempt);
+                    job()
+                }));
+                // The receiver may be gone if the watchdog timed us out.
+                let _ = tx.send(result);
+            })
+            .expect("spawn job thread");
+
+        // A disconnected channel (thread died without sending) is treated
+        // like a panic; the join below harvests the thread either way.
+        let vanished =
+            || Err(Box::new("job thread vanished".to_owned()) as Box<dyn std::any::Any + Send>);
+        let received = match cfg.deadline {
+            Some(deadline) => match rx.recv_timeout(deadline) {
+                Ok(r) => Some(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => Some(vanished()),
+            },
+            None => Some(rx.recv().unwrap_or_else(|_| vanished())),
+        };
+        let wall_ms = start.elapsed().as_millis() as u64;
+
+        match received {
+            Some(Ok(value)) => {
+                let _ = handle.join();
+                report.attempts.push(AttemptRecord { outcome: AttemptOutcome::Ok, wall_ms });
+                return (Some(value), report);
+            }
+            Some(Err(payload)) => {
+                let _ = handle.join();
+                let msg = panic_message(payload.as_ref());
+                eprintln!("supervisor: job `{name}` attempt {attempt} panicked: {msg}");
+                report
+                    .attempts
+                    .push(AttemptRecord { outcome: AttemptOutcome::Panicked(msg), wall_ms });
+            }
+            None => {
+                // Deadline blown: abandon (leak) the stalled thread.
+                eprintln!(
+                    "supervisor: job `{name}` attempt {attempt} exceeded its deadline ({:?}); abandoning the attempt",
+                    cfg.deadline.unwrap()
+                );
+                report.attempts.push(AttemptRecord { outcome: AttemptOutcome::TimedOut, wall_ms });
+            }
+        }
+    }
+    (None, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn cfg(deadline_ms: Option<u64>, retries: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: deadline_ms.map(Duration::from_millis),
+            retries,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn healthy_job_runs_once() {
+        let (value, report) = supervise("ok-job", cfg(None, 2), || 41 + 1);
+        assert_eq!(value, Some(42));
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.ok());
+        assert_eq!(report.verdict(), "ok");
+    }
+
+    #[test]
+    fn panicking_job_is_retried_and_recovers() {
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let (value, report) = supervise("flaky", cfg(None, 2), move || {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt explodes");
+            }
+            7
+        });
+        assert_eq!(value, Some(7));
+        assert_eq!(report.attempts.len(), 2);
+        assert_eq!(report.attempts[0].outcome.label(), "panicked");
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn deadline_times_out_then_retry_succeeds() {
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let (value, report) = supervise("slow-once", cfg(Some(80), 1), move || {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(5_000));
+            }
+            "done"
+        });
+        assert_eq!(value, Some("done"));
+        assert_eq!(report.attempts.len(), 2);
+        assert_eq!(report.attempts[0].outcome, AttemptOutcome::TimedOut);
+        assert!(report.attempts[0].wall_ms >= 80);
+    }
+
+    #[test]
+    fn exhausted_retries_reports_every_attempt() {
+        let (value, report) = supervise("doomed", cfg(None, 2), || -> u32 {
+            panic!("always fails");
+        });
+        assert_eq!(value, None);
+        assert_eq!(report.attempts.len(), 3);
+        assert_eq!(report.verdict(), "exhausted-retries");
+        for a in &report.attempts {
+            match &a.outcome {
+                AttemptOutcome::Panicked(msg) => assert!(msg.contains("always fails")),
+                other => panic!("expected panic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = JobReport {
+            name: "fig15".to_owned(),
+            attempts: vec![
+                AttemptRecord { outcome: AttemptOutcome::Panicked("boom".to_owned()), wall_ms: 3 },
+                AttemptRecord { outcome: AttemptOutcome::TimedOut, wall_ms: 100 },
+                AttemptRecord { outcome: AttemptOutcome::Ok, wall_ms: 17 },
+            ],
+        };
+        let back = JobReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.ok());
+    }
+
+    #[test]
+    fn injected_panic_fires_only_on_first_attempt() {
+        let _guard = crate::faults::TEST_LOCK.lock().unwrap();
+        crate::faults::install(Some(crate::faults::FaultPlan::parse("panic=victim").unwrap()));
+        let (value, report) = supervise("victim", cfg(None, 1), || 5);
+        assert_eq!(value, Some(5));
+        assert_eq!(report.attempts.len(), 2, "fault on attempt 0, clean on attempt 1");
+        assert_eq!(report.attempts[0].outcome.label(), "panicked");
+        assert_eq!(crate::faults::injected().len(), 1);
+        crate::faults::install(None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Kill-and-resume drills for the supervised sweep: an interrupted run
+//! continued with `--resume` must converge to a manifest that is
+//! cell-for-cell identical (tolerance 0) to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+
+use mnm_experiments::metrics::diff_documents;
+use mnm_experiments::sweep::{run_sweep, SweepOptions};
+use mnm_experiments::{Json, RunParams};
+
+/// Tiny budgets: enough to exercise every code path, fast enough for CI.
+fn tiny() -> RunParams {
+    RunParams { warmup: 500, measure: 2_000 }
+}
+
+/// The two cheapest jobs of the sweep, in sweep order.
+const JOBS: [&str; 2] = ["table2_characteristics", "fig12_tmnm_coverage"];
+
+fn opts(dir: &Path) -> SweepOptions {
+    let mut o = SweepOptions::new(dir.to_path_buf(), tiny());
+    o.only = Some(JOBS.iter().map(|s| s.to_string()).collect());
+    o.quiet = true;
+    o
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("jsn-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn manifest(dir: &Path) -> Json {
+    let text = std::fs::read_to_string(dir.join("all_experiments.json"))
+        .unwrap_or_else(|e| panic!("manifest missing in {}: {e}", dir.display()));
+    Json::parse(&text).expect("manifest parses")
+}
+
+#[test]
+fn interrupted_then_resumed_matches_uninterrupted_exactly() {
+    let clean = fresh_dir("clean");
+    let summary = run_sweep(&opts(&clean)).unwrap();
+    assert_eq!(summary.executed, 2);
+    assert!(!summary.interrupted);
+    assert!(summary.failed.is_empty());
+    assert!(!clean.join("journal.jsonl").exists(), "a fully successful sweep removes its journal");
+
+    // "Kill" the sweep after the first job...
+    let killed = fresh_dir("killed");
+    let mut first = opts(&killed);
+    first.stop_after = Some(1);
+    let summary = run_sweep(&first).unwrap();
+    assert!(summary.interrupted);
+    assert_eq!(summary.executed, 1);
+    assert!(killed.join("journal.jsonl").exists(), "checkpoint journal survives the kill");
+    assert!(
+        !killed.join("all_experiments.json").exists(),
+        "no final artifact from an interrupted run"
+    );
+
+    // ...then resume: only the remaining job executes.
+    let mut second = opts(&killed);
+    second.resume = true;
+    let summary = run_sweep(&second).unwrap();
+    assert!(!summary.interrupted);
+    assert_eq!(summary.resumed, 1, "first job replayed from the journal");
+    assert_eq!(summary.executed, 1, "second job executed live");
+
+    let diffs = diff_documents(&manifest(&clean), &manifest(&killed), 0.0);
+    assert!(
+        diffs.is_empty(),
+        "resumed manifest diverges from the uninterrupted one:\n{}",
+        diffs.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&killed);
+}
+
+#[test]
+fn a_torn_journal_tail_is_dropped_on_resume() {
+    let clean = fresh_dir("torn-clean");
+    run_sweep(&opts(&clean)).unwrap();
+
+    let dir = fresh_dir("torn");
+    let mut first = opts(&dir);
+    first.stop_after = Some(1);
+    run_sweep(&first).unwrap();
+
+    // Simulate a kill mid-append: garbage with no terminating newline.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().append(true).open(dir.join("journal.jsonl")).unwrap();
+    f.write_all(b"{\"job\":\"fig12_tmnm_cov").unwrap();
+    drop(f);
+
+    let mut second = opts(&dir);
+    second.resume = true;
+    let summary = run_sweep(&second).unwrap();
+    assert_eq!(summary.resumed, 1, "intact first entry survives the torn tail");
+    assert_eq!(summary.executed, 1);
+
+    let diffs = diff_documents(&manifest(&clean), &manifest(&dir), 0.0);
+    assert!(diffs.is_empty(), "{diffs:?}");
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_output_dir_is_refused_without_resume() {
+    let dir = fresh_dir("partial");
+    let mut first = opts(&dir);
+    first.stop_after = Some(1);
+    run_sweep(&first).unwrap();
+
+    let err = run_sweep(&opts(&dir)).unwrap_err();
+    assert!(err.contains("--resume"), "refusal must point at --resume, got: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_different_parameters_is_refused() {
+    let dir = fresh_dir("params");
+    let mut first = opts(&dir);
+    first.stop_after = Some(1);
+    run_sweep(&first).unwrap();
+
+    let mut second = opts(&dir);
+    second.resume = true;
+    second.params = RunParams { warmup: 500, measure: 4_000 };
+    let err = run_sweep(&second).unwrap_err();
+    assert!(err.contains("cannot resume"), "{err}");
+    assert!(err.contains("measure=2000") && err.contains("measure=4000"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_is_refused() {
+    let dir = fresh_dir("nothing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut o = opts(&dir);
+    o.resume = true;
+    let err = run_sweep(&o).unwrap_err();
+    assert!(err.contains("nothing to resume"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_job_in_only_is_refused() {
+    let dir = fresh_dir("unknown-job");
+    let mut o = opts(&dir);
+    o.only = Some(vec!["fig99_nonsense".to_owned()]);
+    let err = run_sweep(&o).unwrap_err();
+    assert!(err.contains("fig99_nonsense"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

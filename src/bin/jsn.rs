@@ -3,6 +3,9 @@
 //! ```text
 //! jsn apps                                   list the 20 bundled profiles
 //! jsn run <app> [--config L] [-n N] [--cpu] [--json]   simulate one app
+//! jsn run-all [-o DIR] [--resume DIR] [--deadline S] [--retries N]
+//!                                            supervised full sweep with a
+//!                                            crash-safe checkpoint journal
 //! jsn coverage <app> [labels...]             per-config coverage for one app
 //! jsn trace <app> -o FILE [-n N]             persist a binary trace
 //! jsn diff <a.json> <b.json> [--tol X]       compare two results artifacts
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("apps") => cmd_apps(),
         Some("run") => cmd_run(&args[1..]),
+        Some("run-all") => return cmd_run_all(&args[1..]),
         Some("coverage") => cmd_coverage(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("diff") => return cmd_diff(&args[1..]),
@@ -53,6 +57,7 @@ fn print_help() {
         "jsn — Just Say No (HPCA 2003) reproduction CLI\n\
          \n\
          USAGE:\n  jsn apps\n  jsn run <app> [--config LABEL] [-n N] [--cpu] [--json]\n  \
+         jsn run-all [-o DIR] [--resume DIR] [--deadline SECS] [--retries N] [--only a,b] [--quiet]\n  \
          jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n  \
          jsn diff <a.json> <b.json> [--tol X]\n  \
          jsn check [--seeds N] [--len N] [--filter LABEL] [--gen G] [--seed S] [--json] [-o FILE]\n\
@@ -60,12 +65,20 @@ fn print_help() {
          Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
          RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>.\n\
          \n\
+         run-all regenerates every table/figure under supervision: each job\n\
+         is retried on panic or deadline overrun, completed jobs are\n\
+         checkpointed to <out>/journal.jsonl (fsynced), and `--resume <dir>`\n\
+         continues an interrupted sweep to the identical manifest. The\n\
+         JSN_FAULT env knob injects deterministic faults (see\n\
+         EXPERIMENTS.md).\n\
+         \n\
          check sweeps every filter family against the perfect oracle and an\n\
          independent reference cache model over randomized traces\n\
          (generators: profile, aliasing, flush, saturation); a failure is\n\
          shrunk to a minimal reproducer and printed with its replay line.\n\
          `--filter`/`--gen`/`--seed` restrict the sweep to replay one\n\
-         scenario."
+         scenario. Under a JSN_FAULT flip plan, check corrupts filter state\n\
+         mid-trace and must report the lie as an UnsoundFlag violation."
     );
 }
 
@@ -328,6 +341,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
 
 fn run_check(args: &[String]) -> Result<ExitCode, String> {
     use just_say_no::mnm_check::{run_scenario, run_suite, Scenario, SuiteReport, TraceGen};
+    use just_say_no::mnm_experiments::faults;
+
+    // Honor JSN_FAULT: a `flip` clause corrupts selected scenarios'
+    // filter state mid-trace, which the checker must then catch.
+    if let Some(plan) = faults::FaultPlan::from_env()? {
+        eprintln!("fault injection armed: {}", plan.summary());
+        faults::install(Some(plan));
+    }
 
     let seeds = parse_n(args, "--seeds", 8)?;
     let len = parse_n(args, "--len", 4000)? as usize;
@@ -362,8 +383,11 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
     };
 
     if let Some(path) = out_path {
-        std::fs::write(path, report.to_json().render_pretty())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        just_say_no::mnm_experiments::fsio::write_artifact(
+            std::path::Path::new(path),
+            report.to_json().render_pretty().as_bytes(),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if json {
         print!("{}", report.to_json().render_pretty());
@@ -385,6 +409,20 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// `jsn run-all`: the supervised experiment sweep (same code and flags as
+/// the `run_all` binary). Exit 0 on a clean sweep, 1 when jobs failed
+/// (artifacts still written), 2 on configuration/IO errors.
+fn cmd_run_all(args: &[String]) -> ExitCode {
+    match just_say_no::mnm_experiments::sweep::cli_main(args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn parse_seed(text: &str) -> Result<u64, String> {
