@@ -1,13 +1,14 @@
 //! The acceptance test for the zero-allocation replay hot path: after a
 //! short warmup, driving accesses through every supported entry point
-//! (explicit scratch, internal scratch, full MNM protocol) performs no
-//! heap allocation at all.
+//! (explicit scratch, internal scratch, full MNM protocol for every filter
+//! family, the perfect oracle, and the batched APIs) performs no heap
+//! allocation at all.
 
 use cache_sim::{
     Access, BypassSet, Hierarchy, HierarchyConfig, NoFilter, ReplayScratch, ReplaySession,
 };
 use mnm_bench::allocations;
-use mnm_core::{Mnm, MnmConfig};
+use mnm_core::{Mnm, MnmConfig, PerfectFilter};
 
 #[global_allocator]
 static ALLOC: mnm_bench::CountingAlloc = mnm_bench::CountingAlloc;
@@ -67,15 +68,82 @@ fn replay_session_is_allocation_free() {
 }
 
 #[test]
-fn mnm_protocol_is_allocation_free() {
+fn mnm_protocol_is_allocation_free_for_every_family() {
+    for label in ["RMNM_512_2", "SMNM_13x2", "TMNM_12x3", "CMNM_8_12", "BLOOM_12x2", "HMNM4"] {
+        let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse(label).unwrap());
+        for i in 0..2_000 {
+            mnm.run_access(&mut hier, stream(i));
+        }
+        let before = allocations();
+        for i in 2_000..10_000 {
+            mnm.run_access(&mut hier, stream(i));
+        }
+        assert_eq!(allocations() - before, 0, "{label}: steady-state Mnm::run_access allocated");
+    }
+}
+
+#[test]
+fn perfect_oracle_session_is_allocation_free() {
+    // `perfect_bypass` builds its verdict with `dry_run_bypass`, which
+    // returns a stack `BypassSet` instead of collecting a Vec — the
+    // regression this test pins down (the Vec cost ~50k allocs/1M).
     let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
-    let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(4));
+    let mut session = ReplaySession::new(&mut hier, PerfectFilter);
     for i in 0..2_000 {
-        mnm.run_access(&mut hier, stream(i));
+        session.step(stream(i));
     }
     let before = allocations();
     for i in 2_000..10_000 {
-        mnm.run_access(&mut hier, stream(i));
+        session.step(stream(i));
     }
-    assert_eq!(allocations() - before, 0, "steady-state Mnm::run_access allocated");
+    assert_eq!(allocations() - before, 0, "steady-state perfect-oracle session allocated");
+}
+
+#[test]
+fn batched_run_many_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(4));
+    // Chunks are materialized before the measured region, as a trace
+    // reader would refill a fixed buffer.
+    let warm: Vec<Access> = (0..2_000).map(stream).collect();
+    let chunks: Vec<Vec<Access>> =
+        (0..8).map(|c| (2_000 + c * 1_000..3_000 + c * 1_000).map(stream).collect()).collect();
+    mnm.run_many(&mut hier, &warm);
+    let before = allocations();
+    let mut total = cache_sim::BatchSummary::default();
+    for chunk in &chunks {
+        total.merge(mnm.run_many(&mut hier, chunk));
+    }
+    assert_eq!(allocations() - before, 0, "steady-state Mnm::run_many allocated");
+    assert_eq!(total.accesses, 8_000);
+}
+
+#[test]
+fn batched_query_many_is_allocation_free_once_warm() {
+    let hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(4));
+    let chunk: Vec<Access> = (0..1_000).map(stream).collect();
+    let mut out = Vec::new();
+    // First call sizes `out`; later calls reuse its capacity.
+    mnm.query_many(&chunk, &mut out);
+    let before = allocations();
+    for _ in 0..8 {
+        mnm.query_many(&chunk, &mut out);
+    }
+    assert_eq!(allocations() - before, 0, "steady-state Mnm::query_many allocated");
+    assert_eq!(out.len(), chunk.len());
+}
+
+#[test]
+fn batched_session_process_many_is_allocation_free() {
+    let mut hier = Hierarchy::new(HierarchyConfig::paper_five_level());
+    let mut session = ReplaySession::new(&mut hier, NoFilter);
+    let warm: Vec<Access> = (0..2_000).map(stream).collect();
+    let chunk: Vec<Access> = (2_000..10_000).map(stream).collect();
+    session.process_many(&warm);
+    let before = allocations();
+    let summary = session.process_many(&chunk);
+    assert_eq!(allocations() - before, 0, "steady-state process_many allocated");
+    assert_eq!(summary.accesses, 8_000);
 }

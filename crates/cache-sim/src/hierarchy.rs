@@ -226,6 +226,22 @@ impl Hierarchy {
         missing
     }
 
+    /// [`Hierarchy::dry_run_misses`] returned as a [`BypassSet`] instead of
+    /// a freshly allocated vector — the allocation-free form the perfect
+    /// MNM uses on the replay hot path.
+    pub fn dry_run_bypass(&self, access: Access) -> BypassSet {
+        let mut missing = BypassSet::none();
+        for &sid in self.path(access.kind) {
+            if self.caches[sid.0].contains(access.addr) {
+                return missing;
+            }
+            if self.infos[sid.0].level > 1 {
+                missing.insert(sid);
+            }
+        }
+        missing
+    }
+
     /// Drive one access through the hierarchy.
     ///
     /// Structures in `bypass` (other than level 1, which is always probed)

@@ -53,6 +53,6 @@ pub use config::{CacheConfig, ConfigError, HierarchyConfig, LevelConfig, WritePo
 pub use events::{CacheEvent, EventKind};
 pub use hierarchy::{Hierarchy, StructureId, StructureInfo};
 pub use replacement::ReplacementPolicy;
-pub use replay::{AccessFilter, NoFilter, ReplayScratch, ReplaySession};
+pub use replay::{AccessFilter, BatchSummary, NoFilter, ReplayScratch, ReplaySession};
 pub use stats::{HierarchyStats, StructureStats};
 pub use tlb::{TlbAccessResult, TlbConfig, TlbEvent, TlbLevelStats, TwoLevelTlb};

@@ -103,6 +103,46 @@ impl<F: AccessFilter + ?Sized> AccessFilter for &mut F {
     }
 }
 
+/// Accumulated outcome of a batch of accesses driven through
+/// [`ReplaySession::process_many`] (or `Mnm::run_many` in `mnm-core`).
+///
+/// The per-access [`AccessResult`]s fold into plain sums; batch drivers
+/// that need the individual results should step the session instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Accesses driven.
+    pub accesses: u64,
+    /// Summed access latency in cycles.
+    pub total_latency: u64,
+    /// Accesses supplied by the first cache level.
+    pub l1_hits: u64,
+    /// Total probes that missed.
+    pub misses: u64,
+    /// Total probes skipped on a filter's definite-miss verdict.
+    pub bypassed: u64,
+}
+
+impl BatchSummary {
+    /// Fold one access outcome into the summary.
+    #[inline]
+    pub fn absorb(&mut self, result: AccessResult) {
+        self.accesses += 1;
+        self.total_latency += result.latency;
+        self.l1_hits += u64::from(result.l1_hit());
+        self.misses += u64::from(result.misses);
+        self.bypassed += u64::from(result.bypassed);
+    }
+
+    /// Merge another summary (e.g. per-chunk summaries of one trace).
+    pub fn merge(&mut self, other: BatchSummary) {
+        self.accesses += other.accesses;
+        self.total_latency += other.total_latency;
+        self.l1_hits += other.l1_hits;
+        self.misses += other.misses;
+        self.bypassed += other.bypassed;
+    }
+}
+
 /// A streaming replay of an access trace through a hierarchy and filter,
 /// reusing one [`ReplayScratch`] for the whole run.
 ///
@@ -139,6 +179,25 @@ impl<'h, F: AccessFilter> ReplaySession<'h, F> {
         self.filter.note_probes(access, &self.scratch.probes);
         self.accesses += 1;
         result
+    }
+
+    /// Drive a batch of accesses through the session, folding the
+    /// outcomes into one [`BatchSummary`]. Identical protocol and state
+    /// evolution as calling [`ReplaySession::step`] per access — the batch
+    /// form exists so trace drivers can hand the replay loop a whole chunk
+    /// at a time (one call per chunk instead of one per access) without
+    /// touching per-access results they would only sum anyway.
+    pub fn process_many(&mut self, accesses: &[Access]) -> BatchSummary {
+        let mut summary = BatchSummary::default();
+        for &access in accesses {
+            let bypass = self.filter.query(self.hierarchy, access);
+            let result = self.hierarchy.access_with_events(access, &bypass, &mut self.scratch);
+            self.filter.observe_events(self.hierarchy, &self.scratch.events);
+            self.filter.note_probes(access, &self.scratch.probes);
+            summary.absorb(result);
+        }
+        self.accesses += summary.accesses;
+        summary
     }
 
     /// Number of accesses driven so far.

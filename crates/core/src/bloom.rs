@@ -15,6 +15,10 @@
 //! partitioned Bloom filter whose "hashes" are plain bit-field extractions.
 //! The comparison experiment (`rw02`) quantifies what real hashing buys at
 //! equal storage.
+//!
+//! Like the TMNM, queries read only a packed per-counter *zero bitset*
+//! maintained on the update path, and the update path stages its `k` slot
+//! indices in a fixed stack array (k ≤ 8) — no heap traffic per event.
 
 use crate::filter::MissFilter;
 
@@ -30,6 +34,10 @@ pub struct BloomConfig {
     pub counter_bits: u32,
 }
 
+/// Upper bound on `BloomConfig::hashes`, sizing the update path's stack
+/// buffer of slot indices.
+const MAX_HASHES: usize = 8;
+
 impl BloomConfig {
     /// Create a configuration with 3-bit counters.
     ///
@@ -38,7 +46,7 @@ impl BloomConfig {
     /// Panics if `bits` is outside 1..=24 or `hashes` outside 1..=8.
     pub fn new(bits: u32, hashes: u32) -> Self {
         assert!((1..=24).contains(&bits), "counter-array width must be 1..=24 bits");
-        assert!((1..=8).contains(&hashes), "hash count must be 1..=8");
+        assert!((1..=MAX_HASHES as u32).contains(&hashes), "hash count must be 1..=8");
         BloomConfig { bits, hashes, counter_bits: 3 }
     }
 
@@ -53,8 +61,11 @@ impl BloomConfig {
 pub struct BloomFilter {
     config: BloomConfig,
     counters: Vec<u8>,
+    /// Bit `s` set iff `counters[s] == 0` — the only state a probe reads.
+    zero: Vec<u64>,
     max: u8,
     mask: u64,
+    label: String,
 }
 
 /// One round of a splitmix64-style mixer, parameterized by the hash index.
@@ -65,13 +76,23 @@ fn mix(block: u64, which: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+fn zero_words(slots: usize) -> Vec<u64> {
+    let mut words = vec![u64::MAX; slots.div_ceil(64)];
+    if !slots.is_multiple_of(64) {
+        *words.last_mut().unwrap() = (1u64 << (slots % 64)) - 1;
+    }
+    words
+}
+
 impl BloomFilter {
     /// Build an empty filter.
     pub fn new(config: BloomConfig) -> Self {
         BloomFilter {
             counters: vec![0; 1 << config.bits],
+            zero: zero_words(1 << config.bits),
             max: ((1u32 << config.counter_bits) - 1) as u8,
             mask: (1u64 << config.bits) - 1,
+            label: config.label(),
             config,
         }
     }
@@ -81,45 +102,76 @@ impl BloomFilter {
         &self.config
     }
 
-    fn slots(&self, block: u64) -> impl Iterator<Item = usize> + '_ {
-        (0..self.config.hashes).map(move |k| (mix(block, k) & self.mask) as usize)
+    /// The `k` slot indices of `block`, staged on the stack so the update
+    /// path can mutate `self` while iterating them.
+    fn slot_array(&self, block: u64) -> ([usize; MAX_HASHES], usize) {
+        let k = self.config.hashes as usize;
+        let mut slots = [0usize; MAX_HASHES];
+        for (which, slot) in slots[..k].iter_mut().enumerate() {
+            *slot = (mix(block, which as u32) & self.mask) as usize;
+        }
+        (slots, k)
+    }
+
+    fn sync_zero_flag(&mut self, slot: usize) {
+        let bit = 1u64 << (slot & 63);
+        if self.counters[slot] == 0 {
+            self.zero[slot >> 6] |= bit;
+        } else {
+            self.zero[slot >> 6] &= !bit;
+        }
     }
 }
 
 impl MissFilter for BloomFilter {
     fn on_place(&mut self, block: u64) {
-        let slots: Vec<usize> = self.slots(block).collect();
-        for s in slots {
-            if self.counters[s] < self.max {
-                self.counters[s] += 1;
+        let (slots, k) = self.slot_array(block);
+        for &s in &slots[..k] {
+            let c = self.counters[s];
+            if c < self.max {
+                self.counters[s] = c + 1;
+                if c == 0 {
+                    self.zero[s >> 6] &= !(1u64 << (s & 63));
+                }
             }
         }
     }
 
     fn on_replace(&mut self, block: u64) {
-        let slots: Vec<usize> = self.slots(block).collect();
-        for s in slots {
+        let (slots, k) = self.slot_array(block);
+        for &s in &slots[..k] {
             let c = self.counters[s];
             if c > 0 && c < self.max {
                 self.counters[s] = c - 1;
+                if c == 1 {
+                    self.zero[s >> 6] |= 1 << (s & 63);
+                }
             }
         }
     }
 
+    #[inline]
     fn is_definite_miss(&self, block: u64) -> bool {
-        self.slots(block).any(|s| self.counters[s] == 0)
+        // OR the zero flags of all k counters: miss iff any is zero.
+        let mut any_zero = 0u64;
+        for which in 0..self.config.hashes {
+            let s = (mix(block, which) & self.mask) as usize;
+            any_zero |= self.zero[s >> 6] >> (s & 63) & 1;
+        }
+        any_zero != 0
     }
 
     fn flush(&mut self) {
         self.counters.fill(0);
+        self.zero = zero_words(self.counters.len());
     }
 
     fn storage_bits(&self) -> u64 {
         (1u64 << self.config.bits) * u64::from(self.config.counter_bits)
     }
 
-    fn label(&self) -> String {
-        self.config.label()
+    fn label(&self) -> &str {
+        &self.label
     }
 
     fn state_bits(&self) -> u64 {
@@ -128,10 +180,12 @@ impl MissFilter for BloomFilter {
 
     fn flip_state_bit(&mut self, bit: u64) -> bool {
         let width = u64::from(self.config.counter_bits);
-        let Some(counter) = self.counters.get_mut((bit / width) as usize) else {
+        let slot = (bit / width) as usize;
+        let Some(counter) = self.counters.get_mut(slot) else {
             return false;
         };
         *counter ^= 1 << (bit % width);
+        self.sync_zero_flag(slot);
         true
     }
 
@@ -199,6 +253,34 @@ mod tests {
         for b in 0..32u64 {
             assert!(!f.is_definite_miss(b));
         }
+    }
+
+    #[test]
+    fn zero_bitset_tracks_counters_exactly() {
+        let mut f = BloomFilter::new(BloomConfig::new(5, 3)); // 32 counters: partial word
+        let mut x: u64 = 0x1234_5678;
+        for step in 0..3000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match step % 4 {
+                0 | 1 => f.on_place(x % 512),
+                2 => f.on_replace(x % 512),
+                _ => {
+                    f.flip_state_bit(x % f.state_bits());
+                }
+            }
+            for (s, &c) in f.counters.iter().enumerate() {
+                assert_eq!(
+                    f.zero[s >> 6] >> (s & 63) & 1 != 0,
+                    c == 0,
+                    "slot {s} after step {step}"
+                );
+            }
+        }
+        f.flush();
+        assert!(f.counters.iter().all(|&c| c == 0));
+        assert!(f.is_definite_miss(0));
     }
 
     #[test]

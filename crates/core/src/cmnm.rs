@@ -99,6 +99,7 @@ pub struct Cmnm {
     /// described in the module docs). Keyed by MNM block address.
     live: HashMap<u64, u32>,
     high_bits: u32,
+    label: String,
 }
 
 impl Cmnm {
@@ -111,6 +112,7 @@ impl Cmnm {
             counter_max: ((1u32 << config.counter_bits) - 1) as u8,
             live: HashMap::new(),
             high_bits: config.addr_bits - config.table_bits,
+            label: config.label(),
             config,
         }
     }
@@ -231,15 +233,21 @@ impl MissFilter for Cmnm {
         reg_bits + table_bits
     }
 
-    fn label(&self) -> String {
-        self.config.label()
+    fn label(&self) -> &str {
+        &self.label
     }
 
     fn reserve(&mut self, max_live_blocks: usize) {
         // The live map holds at most one entry per resident block of the
-        // guarded structure; sizing it up-front keeps on_place free of
-        // rehash allocations.
-        self.live.reserve(max_live_blocks.saturating_sub(self.live.capacity()));
+        // guarded structure. Reserving twice that keeps on_place free of
+        // rehash allocations permanently, not just until the first wrap:
+        // insert/remove churn accumulates tombstones until the map's
+        // growth budget empties, and a table occupied to at most half its
+        // reserved capacity is then rehashed in place instead of being
+        // reallocated. (Sizing to exactly max_live_blocks allocated once
+        // per run when a near-full structure churned long enough.)
+        let target = 2 * max_live_blocks + 1;
+        self.live.reserve(target.saturating_sub(self.live.capacity()));
     }
 
     fn state_bits(&self) -> u64 {

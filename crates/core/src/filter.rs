@@ -35,8 +35,10 @@ pub trait MissFilter: std::fmt::Debug + Send {
     /// power model.
     fn storage_bits(&self) -> u64;
 
-    /// Short configuration label, e.g. `"TMNM_12x3"`.
-    fn label(&self) -> String;
+    /// Short configuration label, e.g. `"TMNM_12x3"`. Borrowed from the
+    /// filter (memoized at construction): stats and telemetry emission can
+    /// read it mid-run without allocating.
+    fn label(&self) -> &str;
 
     /// Upper bound on simultaneously-live blocks in the guarded structure
     /// (its capacity in MNM blocks). Filters with dynamically-sized

@@ -60,7 +60,7 @@ pub use bloom::{BloomConfig, BloomFilter};
 pub use cmnm::{Cmnm, CmnmConfig};
 pub use config::{Assignment, MnmConfig, MnmPlacement, ParseConfigError, TechniqueConfig};
 pub use filter::MissFilter;
-pub use machine::{ComponentStorage, Mnm};
+pub use machine::{ComponentStorage, FilterKind, Mnm};
 pub use perfect::{perfect_bypass, PerfectFilter};
 pub use rmnm::{Rmnm, RmnmConfig};
 pub use smnm::{SmnmChecker, SmnmConfig, SmnmFilter};

@@ -1,8 +1,8 @@
 //! The Mostly No Machine: technique filters wired to a cache hierarchy.
 
 use cache_sim::{
-    Access, AccessFilter, AccessResult, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeOutcome,
-    ProbeRecord, ReplayScratch, StructureId,
+    Access, AccessFilter, AccessResult, BatchSummary, BypassSet, CacheEvent, EventKind, Hierarchy,
+    ProbeOutcome, ProbeRecord, ReplayScratch, StructureId,
 };
 
 use crate::block::Granularity;
@@ -15,12 +15,143 @@ use crate::smnm::SmnmFilter;
 use crate::stats::MnmStats;
 use crate::tmnm::TmnmFilter;
 
+/// One per-structure filter technique, dispatched statically.
+///
+/// The machine's hot query loop matches on this enum instead of calling
+/// through a `Box<dyn MissFilter>` vtable, so each technique's
+/// `is_definite_miss` inlines into [`Mnm::query`]. The [`MissFilter`]
+/// trait still exists — and `FilterKind` implements it — because the
+/// checker and fault-injection surface (`crates/check`) deliberately talk
+/// to filters through the object-safe trait: the fault hooks must work
+/// uniformly over any filter, including test doubles the checker defines
+/// for itself, and none of that code is performance-sensitive.
+#[derive(Debug, Clone)]
+pub enum FilterKind {
+    /// Sum-hash checkers (paper §3.2).
+    Smnm(SmnmFilter),
+    /// Saturating-counter tables (paper §3.3).
+    Tmnm(TmnmFilter),
+    /// Virtual-tag finder + counter table (paper §3.4).
+    Cmnm(Cmnm),
+    /// Counting Bloom filter (related work).
+    Bloom(BloomFilter),
+}
+
+impl FilterKind {
+    /// Instantiate the technique `config` describes.
+    pub fn build(config: TechniqueConfig) -> Self {
+        match config {
+            TechniqueConfig::Smnm(c) => FilterKind::Smnm(SmnmFilter::new(c)),
+            TechniqueConfig::Tmnm(c) => FilterKind::Tmnm(TmnmFilter::new(c)),
+            TechniqueConfig::Cmnm(c) => FilterKind::Cmnm(Cmnm::new(c)),
+            TechniqueConfig::Bloom(c) => FilterKind::Bloom(BloomFilter::new(c)),
+        }
+    }
+
+    /// Statically dispatched [`MissFilter::is_definite_miss`] — the hot
+    /// probe.
+    #[inline]
+    pub fn is_definite_miss(&self, block: u64) -> bool {
+        match self {
+            FilterKind::Smnm(f) => MissFilter::is_definite_miss(f, block),
+            FilterKind::Tmnm(f) => MissFilter::is_definite_miss(f, block),
+            FilterKind::Cmnm(f) => MissFilter::is_definite_miss(f, block),
+            FilterKind::Bloom(f) => MissFilter::is_definite_miss(f, block),
+        }
+    }
+
+    /// Statically dispatched [`MissFilter::on_place`].
+    #[inline]
+    pub fn on_place(&mut self, block: u64) {
+        match self {
+            FilterKind::Smnm(f) => MissFilter::on_place(f, block),
+            FilterKind::Tmnm(f) => MissFilter::on_place(f, block),
+            FilterKind::Cmnm(f) => MissFilter::on_place(f, block),
+            FilterKind::Bloom(f) => MissFilter::on_place(f, block),
+        }
+    }
+
+    /// Statically dispatched [`MissFilter::on_replace`].
+    #[inline]
+    pub fn on_replace(&mut self, block: u64) {
+        match self {
+            FilterKind::Smnm(f) => MissFilter::on_replace(f, block),
+            FilterKind::Tmnm(f) => MissFilter::on_replace(f, block),
+            FilterKind::Cmnm(f) => MissFilter::on_replace(f, block),
+            FilterKind::Bloom(f) => MissFilter::on_replace(f, block),
+        }
+    }
+
+    /// The wrapped filter as a [`MissFilter`] trait object (checker and
+    /// fault-surface plumbing).
+    pub fn as_miss_filter(&self) -> &dyn MissFilter {
+        match self {
+            FilterKind::Smnm(f) => f,
+            FilterKind::Tmnm(f) => f,
+            FilterKind::Cmnm(f) => f,
+            FilterKind::Bloom(f) => f,
+        }
+    }
+
+    /// Mutable form of [`FilterKind::as_miss_filter`].
+    pub fn as_miss_filter_mut(&mut self) -> &mut dyn MissFilter {
+        match self {
+            FilterKind::Smnm(f) => f,
+            FilterKind::Tmnm(f) => f,
+            FilterKind::Cmnm(f) => f,
+            FilterKind::Bloom(f) => f,
+        }
+    }
+}
+
+impl MissFilter for FilterKind {
+    fn on_place(&mut self, block: u64) {
+        FilterKind::on_place(self, block);
+    }
+
+    fn on_replace(&mut self, block: u64) {
+        FilterKind::on_replace(self, block);
+    }
+
+    fn is_definite_miss(&self, block: u64) -> bool {
+        FilterKind::is_definite_miss(self, block)
+    }
+
+    fn flush(&mut self) {
+        self.as_miss_filter_mut().flush();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.as_miss_filter().storage_bits()
+    }
+
+    fn label(&self) -> &str {
+        self.as_miss_filter().label()
+    }
+
+    fn reserve(&mut self, max_live_blocks: usize) {
+        self.as_miss_filter_mut().reserve(max_live_blocks);
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.as_miss_filter().state_bits()
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) -> bool {
+        self.as_miss_filter_mut().flip_state_bit(bit)
+    }
+
+    fn state_bit_of(&self, block: u64) -> Option<u64> {
+        self.as_miss_filter().state_bit_of(block)
+    }
+}
+
 #[derive(Debug)]
 struct Slot {
     structure: StructureId,
     level: u8,
     name: String,
-    filters: Vec<Box<dyn MissFilter>>,
+    filters: Vec<FilterKind>,
 }
 
 /// Storage cost of one MNM component, for the power model.
@@ -75,16 +206,11 @@ impl Mnm {
             // filter bookkeeping that is sized by residency.
             let max_live =
                 (hierarchy.cache(info.id).config().size_bytes / granularity.bytes()) as usize;
-            let filters: Vec<Box<dyn MissFilter>> = config
+            let filters: Vec<FilterKind> = config
                 .techniques_for_level(info.level)
                 .into_iter()
-                .map(|t| -> Box<dyn MissFilter> {
-                    let mut f: Box<dyn MissFilter> = match t {
-                        TechniqueConfig::Smnm(c) => Box::new(SmnmFilter::new(c)),
-                        TechniqueConfig::Tmnm(c) => Box::new(TmnmFilter::new(c)),
-                        TechniqueConfig::Cmnm(c) => Box::new(Cmnm::new(c)),
-                        TechniqueConfig::Bloom(c) => Box::new(BloomFilter::new(c)),
-                    };
+                .map(|t| {
+                    let mut f = FilterKind::build(t);
                     f.reserve(max_live);
                     f
                 })
@@ -152,20 +278,23 @@ impl Mnm {
         let slots = if access.kind.is_instruction() { &self.instr_slots } else { &self.data_slots };
         let mut set = BypassSet::none();
         self.stats.accesses += 1;
-        if self.rmnm.is_some() {
-            self.stats.rmnm_queries += 1;
-        }
+        // One shared-RMNM tag search per access: its entry carries one miss
+        // bit per slot, so the per-slot loop below tests bits of this mask
+        // instead of re-running the set scan for every guarded structure.
+        let rmnm_mask = match &self.rmnm {
+            Some(r) => {
+                self.stats.rmnm_queries += 1;
+                r.miss_mask(block)
+            }
+            None => 0,
+        };
         let mut any = false;
         for &si in slots {
             let slot = &self.slots[si];
             let st = &mut self.stats.slots[si];
             st.queries += 1;
-            let mut miss = slot.filters.iter().any(|f| f.is_definite_miss(block));
-            if !miss {
-                if let Some(r) = &self.rmnm {
-                    miss = r.is_definite_miss(si, block);
-                }
-            }
+            let miss =
+                rmnm_mask >> si & 1 != 0 || slot.filters.iter().any(|f| f.is_definite_miss(block));
             if miss {
                 set.insert(slot.structure);
                 st.flagged += 1;
@@ -176,6 +305,17 @@ impl Mnm {
             self.stats.accesses_with_flags += 1;
         }
         set
+    }
+
+    /// [`Mnm::query`] over a batch: one verdict per access, appended to
+    /// `out` (cleared first, capacity retained across calls). Verdicts and
+    /// statistics are identical to querying each access individually.
+    pub fn query_many(&mut self, accesses: &[Access], out: &mut Vec<BypassSet>) {
+        out.clear();
+        out.reserve(accesses.len());
+        for &access in accesses {
+            out.push(self.query(access));
+        }
     }
 
     /// Feed the hierarchy's placement/replacement events into the filters
@@ -248,6 +388,25 @@ impl Mnm {
         result
     }
 
+    /// [`Mnm::run_access`] over a batch, folding the per-access outcomes
+    /// into one [`BatchSummary`]. State evolution, verdicts, and statistics
+    /// are identical to running each access individually; the batch form
+    /// hoists the scratch-buffer swap out of the per-access loop and gives
+    /// trace drivers a chunk-at-a-time entry point.
+    pub fn run_many(&mut self, hierarchy: &mut Hierarchy, accesses: &[Access]) -> BatchSummary {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut summary = BatchSummary::default();
+        for &access in accesses {
+            let bypass = self.query(access);
+            let result = hierarchy.access_with_events(access, &bypass, &mut scratch);
+            self.observe_events(scratch.events());
+            self.note_probes(scratch.probes());
+            summary.absorb(result);
+        }
+        self.scratch = scratch;
+        summary
+    }
+
     /// The access latency including MNM placement effects: a serial MNM
     /// (paper Figure 1b) adds its delay once to every access that goes
     /// beyond L1; a parallel MNM (Figure 1a) hides its delay under the L1
@@ -278,7 +437,7 @@ impl Mnm {
         for slot in &self.slots {
             for f in &slot.filters {
                 out.push(ComponentStorage {
-                    label: f.label(),
+                    label: f.label().to_owned(),
                     structure: slot.name.clone(),
                     bits: f.storage_bits(),
                 });

@@ -25,7 +25,7 @@ use cache_sim::{Access, BypassSet, Hierarchy};
 /// assert_eq!(r.misses, 1);     // only the un-bypassable L1 probe missed
 /// ```
 pub fn perfect_bypass(hierarchy: &Hierarchy, access: Access) -> BypassSet {
-    hierarchy.dry_run_misses(access).into_iter().collect()
+    hierarchy.dry_run_bypass(access)
 }
 
 /// [`perfect_bypass`] as an [`cache_sim::AccessFilter`], for driving a

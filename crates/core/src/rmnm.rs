@@ -142,13 +142,22 @@ impl Rmnm {
         }
     }
 
+    /// The full per-slot miss mask for `block`: bit `s` set means an
+    /// access is a definite miss at structure `s`. One tag search answers
+    /// every guarded structure on an access path — the machine's query
+    /// loop tests one bit per slot instead of repeating the search.
+    #[inline]
+    pub fn miss_mask(&self, block: u64) -> u64 {
+        match self.find(block) {
+            Some(i) => self.bits[i],
+            None => 0,
+        }
+    }
+
     /// Whether an access to `block` is a definite miss at structure `slot`.
     pub fn is_definite_miss(&self, slot: usize, block: u64) -> bool {
         debug_assert!(slot < self.num_slots);
-        match self.find(block) {
-            Some(i) => self.bits[i] & (1 << slot) != 0,
-            None => false,
-        }
+        self.miss_mask(block) & (1 << slot) != 0
     }
 
     /// Drop all entries.

@@ -20,6 +20,11 @@
 //! (paper: "the first one examines the least significant bits, the second
 //! examines the bits starting from the 7th ... the third one starting from
 //! the 13th"); an access is a definite miss if *any* checker rejects it.
+//!
+//! The hash is evaluated bytewise through precomputed tables (the sum is
+//! additive over disjoint bit groups), and the flip-flops are packed 64 per
+//! word so a probe is one load plus a shift per checker instead of a
+//! per-bit loop — same function values, same verdicts.
 
 use crate::filter::MissFilter;
 
@@ -57,8 +62,45 @@ impl SmnmConfig {
     }
 }
 
+/// Per-byte partial sums: `SUM_LUT[k][b]` is `Σ (8k+j+1)²` over the set
+/// bits `j` of byte `b` — the paper's loop restricted to byte `k` of the
+/// slice. The full hash is the sum of at most four table lookups.
+const fn byte_sums(byte_index: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut j = 0u32;
+        let mut sum = 0u32;
+        while j < 8 {
+            if (b >> j) & 1 == 1 {
+                let i = 8 * byte_index + j + 1;
+                sum += i * i;
+            }
+            j += 1;
+        }
+        table[b] = sum;
+        b += 1;
+    }
+    table
+}
+
+const SUM_LUT: [[u32; 256]; 4] = [byte_sums(0), byte_sums(1), byte_sums(2), byte_sums(3)];
+
 /// The paper's sum-of-squares hash over the low `width` bits of `slice`.
 pub fn sum_hash(slice: u64, width: u32) -> u32 {
+    if width > 32 {
+        return sum_hash_loop(slice, width);
+    }
+    let masked = (slice & (u64::MAX >> (64 - width))) as u32;
+    SUM_LUT[0][(masked & 0xff) as usize]
+        + SUM_LUT[1][(masked >> 8 & 0xff) as usize]
+        + SUM_LUT[2][(masked >> 16 & 0xff) as usize]
+        + SUM_LUT[3][(masked >> 24) as usize]
+}
+
+/// The hash as literally written in the paper (Figure 5); reference for
+/// the tabulated version and fallback for out-of-range widths.
+fn sum_hash_loop(slice: u64, width: u32) -> u32 {
     let mut tag = slice;
     let mut sum = 0u32;
     for i in 1..=width {
@@ -76,18 +118,27 @@ pub fn max_sum(width: u32) -> u32 {
     width * (width + 1) * (2 * width + 1) / 6
 }
 
-/// One checker circuit (paper Figure 6): a flip-flop per possible sum.
+/// One checker circuit (paper Figure 6): a flip-flop per possible sum,
+/// packed 64 to a word.
 #[derive(Debug, Clone)]
 pub struct SmnmChecker {
     offset: u32,
     width: u32,
-    present: Vec<bool>,
+    /// Conceptual flip-flop `s` is bit `s % 64` of `present[s / 64]`.
+    present: Vec<u64>,
+    flip_flops: u64,
 }
 
 impl SmnmChecker {
     /// Build a checker over address bits `[offset, offset + width)`.
     pub fn new(offset: u32, width: u32) -> Self {
-        SmnmChecker { offset, width, present: vec![false; max_sum(width) as usize + 1] }
+        let flip_flops = u64::from(max_sum(width)) + 1;
+        SmnmChecker {
+            offset,
+            width,
+            present: vec![0; flip_flops.div_ceil(64) as usize],
+            flip_flops,
+        }
     }
 
     fn hash(&self, block: u64) -> usize {
@@ -97,30 +148,39 @@ impl SmnmChecker {
     /// Record the hash of a placed block.
     pub fn admit(&mut self, block: u64) {
         let h = self.hash(block);
-        self.present[h] = true;
+        self.present[h >> 6] |= 1 << (h & 63);
+    }
+
+    /// The flip-flop guarding `block`, as the low bit of a word (1 = the
+    /// block's hash has been admitted). Branch-free input to the filter's
+    /// all-checkers AND.
+    #[inline]
+    pub fn present_bit(&self, block: u64) -> u64 {
+        let h = self.hash(block);
+        self.present[h >> 6] >> (h & 63) & 1
     }
 
     /// `true` iff the block's hash was never admitted.
     pub fn rejects(&self, block: u64) -> bool {
-        !self.present[self.hash(block)]
+        self.present_bit(block) == 0
     }
 
     /// Reset all flip-flops.
     pub fn reset(&mut self) {
-        self.present.fill(false);
+        self.present.fill(0);
     }
 
     /// Flip-flop count (paper Equation 3 plus the sum = 0 slot).
     pub fn flip_flops(&self) -> u64 {
-        self.present.len() as u64
+        self.flip_flops
     }
 
-    /// Toggle one flip-flop (fault injection). Bit `i` is `present[i]`.
+    /// Toggle one flip-flop (fault injection). Bit `i` guards sum value `i`.
     pub fn flip_bit(&mut self, bit: u64) -> bool {
-        let Some(slot) = self.present.get_mut(bit as usize) else {
+        if bit >= self.flip_flops {
             return false;
-        };
-        *slot = !*slot;
+        }
+        self.present[(bit >> 6) as usize] ^= 1 << (bit & 63);
         true
     }
 
@@ -135,6 +195,7 @@ impl SmnmChecker {
 pub struct SmnmFilter {
     config: SmnmConfig,
     checkers: Vec<SmnmChecker>,
+    label: String,
 }
 
 impl SmnmFilter {
@@ -145,7 +206,7 @@ impl SmnmFilter {
             .take(config.replication as usize)
             .map(|&off| SmnmChecker::new(off, config.sum_width))
             .collect();
-        SmnmFilter { config, checkers }
+        SmnmFilter { checkers, label: config.label(), config }
     }
 
     /// This filter's configuration.
@@ -166,8 +227,14 @@ impl MissFilter for SmnmFilter {
         // replacement cannot clear any flip-flop (soundness).
     }
 
+    #[inline]
     fn is_definite_miss(&self, block: u64) -> bool {
-        self.checkers.iter().any(|c| c.rejects(block))
+        // AND the present bits of every checker: miss iff any is 0.
+        let mut all_present = 1u64;
+        for c in &self.checkers {
+            all_present &= c.present_bit(block);
+        }
+        all_present == 0
     }
 
     fn flush(&mut self) {
@@ -180,8 +247,8 @@ impl MissFilter for SmnmFilter {
         self.checkers.iter().map(SmnmChecker::flip_flops).sum()
     }
 
-    fn label(&self) -> String {
-        self.config.label()
+    fn label(&self) -> &str {
+        &self.label
     }
 
     fn state_bits(&self) -> u64 {
@@ -219,6 +286,23 @@ mod tests {
         assert_eq!(max_sum(3), 14);
         // Bits above the width are ignored.
         assert_eq!(sum_hash(0b1000, 3), 0);
+    }
+
+    #[test]
+    fn tabulated_hash_equals_paper_loop() {
+        let mut x: u64 = 0xDEAD_BEEF_1234_5678;
+        for width in 1..=32 {
+            for _ in 0..256 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                assert_eq!(
+                    sum_hash(x, width),
+                    sum_hash_loop(x, width),
+                    "width {width} slice {x:#x}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -308,5 +392,19 @@ mod tests {
         assert!(!f.is_definite_miss(42));
         assert_eq!(f.state_bits(), f.storage_bits());
         assert!(!f.flip_state_bit(f.state_bits()));
+    }
+
+    #[test]
+    fn flip_bit_addresses_every_flip_flop() {
+        // The packed words must expose exactly `flip_flops` addressable
+        // bits, including the last partial word.
+        let mut c = SmnmChecker::new(0, 7); // 141 flip-flops: 3 words
+        assert_eq!(c.flip_flops(), 141);
+        assert!(c.flip_bit(140));
+        assert!(!c.flip_bit(141));
+        // Sum 140 = max_sum(7): the all-ones slice.
+        assert!(SmnmChecker::new(0, 7).rejects(0x7f), "fresh checker rejects everything");
+        assert_eq!(c.state_bit_of(0x7f), 140);
+        assert!(!c.rejects(0x7f), "flipped bit 140 admits the all-ones hash");
     }
 }

@@ -196,7 +196,7 @@ fn storage_is_history_independent() {
     for _ in 0..40 {
         let trace = cache_trace(&mut gen, 100, 0x1000);
         let mut f = TmnmFilter::new(TmnmConfig::new(12, 3));
-        let before = (f.label(), f.storage_bits());
+        let before = (f.label().to_owned(), f.storage_bits());
         for &(is_place, block) in &trace.ops {
             if is_place {
                 f.on_place(block)
@@ -204,6 +204,6 @@ fn storage_is_history_independent() {
                 f.on_replace(block)
             }
         }
-        assert_eq!(before, (f.label(), f.storage_bits()));
+        assert_eq!(before, (f.label().to_owned(), f.storage_bits()));
     }
 }
