@@ -195,6 +195,14 @@ impl MissFilter for BloomFilter {
         let slot = mix(block, 0) & self.mask;
         Some(slot * u64::from(self.config.counter_bits))
     }
+
+    fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        let zeros: u64 = self.zero.iter().map(|w| u64::from(w.count_ones())).sum();
+        crate::filter::FilterOccupancy {
+            tracked: self.counters.len() as u64 - zeros,
+            capacity: self.counters.len() as u64,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -273,6 +273,13 @@ impl MissFilter for Cmnm {
         let reg = self.find_register(high)?;
         Some(self.table_index(reg, low) as u64 * u64::from(self.config.counter_bits))
     }
+
+    fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        crate::filter::FilterOccupancy {
+            tracked: self.live.len() as u64,
+            capacity: self.counters.len() as u64,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,38 @@
 //! The per-structure miss-filter abstraction.
 
+/// Point-in-time occupancy of a filter's dynamic state, for telemetry
+/// (`jsn serve` exports it per session as a scrapeable gauge).
+///
+/// `tracked` counts the state units currently armed — set presence
+/// flip-flops (SMNM), nonzero counters (TMNM / Bloom), live tracked
+/// blocks (CMNM), valid entries (RMNM) — and `capacity` the total state
+/// units of the same kind, so `tracked / capacity` is a load factor in
+/// `[0, 1]`. Filters with no dynamic surface report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterOccupancy {
+    /// State units currently armed.
+    pub tracked: u64,
+    /// Total state units.
+    pub capacity: u64,
+}
+
+impl FilterOccupancy {
+    /// Load factor in `[0, 1]`; zero for an empty surface.
+    pub fn ratio(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.tracked as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fold another component's occupancy into this one.
+    pub fn merge(&mut self, other: FilterOccupancy) {
+        self.tracked += other.tracked;
+        self.capacity += other.capacity;
+    }
+}
+
 /// A sound, per-cache-structure miss filter.
 ///
 /// One instance guards one cache structure (e.g. `dl2` or `ul4`). All
@@ -69,5 +102,11 @@ pub trait MissFilter: std::fmt::Debug + Send {
     /// no fault surface or no state guards this block.
     fn state_bit_of(&self, _block: u64) -> Option<u64> {
         None
+    }
+
+    /// Current dynamic-state occupancy, for telemetry. The default (all
+    /// zeros) means the filter exposes no occupancy surface.
+    fn occupancy(&self) -> FilterOccupancy {
+        FilterOccupancy::default()
     }
 }

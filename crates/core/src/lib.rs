@@ -59,7 +59,7 @@ pub use block::Granularity;
 pub use bloom::{BloomConfig, BloomFilter};
 pub use cmnm::{Cmnm, CmnmConfig};
 pub use config::{Assignment, MnmConfig, MnmPlacement, ParseConfigError, TechniqueConfig};
-pub use filter::MissFilter;
+pub use filter::{FilterOccupancy, MissFilter};
 pub use machine::{ComponentStorage, FilterKind, Mnm};
 pub use perfect::{perfect_bypass, PerfectFilter};
 pub use rmnm::{Rmnm, RmnmConfig};

@@ -144,6 +144,10 @@ impl MissFilter for FilterKind {
     fn state_bit_of(&self, block: u64) -> Option<u64> {
         self.as_miss_filter().state_bit_of(block)
     }
+
+    fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        self.as_miss_filter().occupancy()
+    }
 }
 
 #[derive(Debug)]
@@ -458,6 +462,21 @@ impl Mnm {
         self.storage().iter().map(|c| c.bits).sum()
     }
 
+    /// Aggregate dynamic-state occupancy across every component filter
+    /// (and the shared RMNM), for telemetry.
+    pub fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        let mut occ = crate::filter::FilterOccupancy::default();
+        for slot in &self.slots {
+            for f in &slot.filters {
+                occ.merge(f.as_miss_filter().occupancy());
+            }
+        }
+        if let Some(r) = &self.rmnm {
+            occ.merge(r.occupancy());
+        }
+        occ
+    }
+
     /// Names and levels of the guarded structures, in slot order.
     pub fn guarded_structures(&self) -> Vec<(String, u8)> {
         self.slots.iter().map(|s| (s.name.clone(), s.level)).collect()
@@ -580,6 +599,32 @@ mod tests {
         let mnm = Mnm::new(&hier, MnmConfig::parse("TMNM_10x1").unwrap());
         let guarded = mnm.guarded_structures();
         assert_eq!(guarded, vec![("ul2".to_owned(), 2), ("ul3".to_owned(), 3)]);
+    }
+
+    /// Every filter family reports a meaningful dynamic occupancy: empty
+    /// at build, strictly growing as distinct blocks are placed, and
+    /// empty again after a flush.
+    #[test]
+    fn occupancy_tracks_placements_and_flushes() {
+        for label in ["TMNM_12x1", "SMNM_13x2", "CMNM_8_12", "BLOOM_13x4", "RMNM_512_2", "HMNM4"] {
+            let mut hier = tiny_hierarchy();
+            let mut mnm = Mnm::new(&hier, MnmConfig::parse(label).unwrap());
+            let empty = mnm.occupancy();
+            assert!(empty.capacity > 0, "{label}: no occupancy surface");
+            assert_eq!(empty.tracked, 0, "{label}: fresh filter not empty");
+            assert_eq!(empty.ratio(), 0.0);
+
+            for i in 0..64u64 {
+                mnm.run_access(&mut hier, Access::load(0x1_0000 + i * 4096));
+            }
+            let warm = mnm.occupancy();
+            assert!(warm.tracked > 0, "{label}: occupancy never rose");
+            assert!(warm.ratio() > 0.0 && warm.ratio() <= 1.0);
+            assert_eq!(warm.capacity, empty.capacity, "{label}: capacity drifted");
+
+            mnm.flush_system(&mut hier);
+            assert_eq!(mnm.occupancy().tracked, 0, "{label}: flush left state armed");
+        }
     }
 
     #[test]

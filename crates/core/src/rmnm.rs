@@ -189,6 +189,14 @@ impl Rmnm {
     pub fn label(&self) -> String {
         self.config.label()
     }
+
+    /// Current occupancy: valid entries over total entries.
+    pub fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        crate::filter::FilterOccupancy {
+            tracked: self.tags.iter().filter(|&&t| t != TAG_INVALID).count() as u64,
+            capacity: self.config.blocks.into(),
+        }
+    }
 }
 
 #[cfg(test)]

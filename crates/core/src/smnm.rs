@@ -270,6 +270,17 @@ impl MissFilter for SmnmFilter {
         // makes that checker reject it — one checker's rejection flags.
         Some(self.checkers[0].state_bit_of(block))
     }
+
+    fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        crate::filter::FilterOccupancy {
+            tracked: self
+                .checkers
+                .iter()
+                .map(|c| c.present.iter().map(|w| u64::from(w.count_ones())).sum::<u64>())
+                .sum(),
+            capacity: self.checkers.iter().map(SmnmChecker::flip_flops).sum(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -272,6 +272,18 @@ impl MissFilter for TmnmFilter {
         // empty slot flags a definite miss, so corrupting one table can lie.
         Some(self.tables[0].state_bit_of(block))
     }
+
+    fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        // A counter is "armed" when nonzero; the packed zero-flag bitset
+        // (bit set iff counter == 0) gives the complement in O(words).
+        let mut occ = crate::filter::FilterOccupancy::default();
+        for t in &self.tables {
+            let zeros: u64 = t.zero.iter().map(|w| u64::from(w.count_ones())).sum();
+            occ.tracked += t.counters.len() as u64 - zeros;
+            occ.capacity += t.counters.len() as u64;
+        }
+        occ
+    }
 }
 
 #[cfg(test)]

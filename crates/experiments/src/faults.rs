@@ -123,6 +123,11 @@ impl FaultPlan {
     /// Each fault clause takes either an `m/n` ratio (fire at ~m of n
     /// sites) or a literal site name (fire exactly there). `stall` accepts
     /// a trailing `:ms` duration. `seed` defaults to 0.
+    ///
+    /// Parsing is strict: unknown or duplicate clauses, selectors that
+    /// look like ratios but are not, and malformed stall durations are all
+    /// hard errors. A long-running process armed with a subtly-wrong plan
+    /// would otherwise run for hours with faults that silently never fire.
     pub fn parse(input: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan {
             seed: 0,
@@ -132,11 +137,18 @@ impl FaultPlan {
             torn: Select::Never,
             flip: Select::Never,
         };
+        let mut seen: Vec<&str> = Vec::new();
         for clause in input.split(',').map(str::trim).filter(|c| !c.is_empty()) {
             let (key, value) = clause
                 .split_once('=')
                 .ok_or_else(|| format!("{ENV_FAULT}: clause `{clause}` is not `key=value`"))?;
-            match key.trim() {
+            let key = key.trim();
+            if seen.contains(&key) {
+                return Err(format!(
+                    "{ENV_FAULT}: duplicate `{key}` clause (the first would be silently ignored)"
+                ));
+            }
+            match key {
                 "seed" => {
                     plan.seed = value
                         .trim()
@@ -149,27 +161,41 @@ impl FaultPlan {
                 "stall" => {
                     // `sel:ms` — the duration is the numeric tail after the
                     // LAST colon; stall sites are job names, which never
-                    // contain one.
+                    // contain one, so a colon whose tail is not a number is
+                    // a typo (`stall=1/6:25x`), not a site name.
                     let (sel, ms) = match value.rsplit_once(':') {
-                        Some((head, tail)) if tail.trim().parse::<u64>().is_ok() => {
-                            (head, tail.trim().parse::<u64>().unwrap())
+                        Some((head, tail)) => {
+                            let ms = tail.trim().parse::<u64>().map_err(|_| {
+                                format!(
+                                    "{ENV_FAULT}: stall duration `{tail}` is not a \
+                                     millisecond count"
+                                )
+                            })?;
+                            (head, ms)
                         }
-                        _ => (value, DEFAULT_STALL_MS),
+                        None => (value, DEFAULT_STALL_MS),
                     };
                     plan.stall = parse_select(sel)?;
                     plan.stall_ms = ms;
                 }
                 other => return Err(format!("{ENV_FAULT}: unknown clause `{other}`")),
             }
+            seen.push(key);
         }
         Ok(plan)
     }
 
     /// Read the plan from `JSN_FAULT`; `Ok(None)` when unset or empty.
+    /// A value that is set but unreadable (non-unicode) or malformed is an
+    /// error — never silently ignored.
     pub fn from_env() -> Result<Option<FaultPlan>, String> {
         match std::env::var(ENV_FAULT) {
             Ok(v) if !v.trim().is_empty() => FaultPlan::parse(&v).map(Some),
-            _ => Ok(None),
+            Ok(_) => Ok(None),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(format!("{ENV_FAULT}: value is not valid unicode"))
+            }
         }
     }
 
@@ -203,13 +229,22 @@ fn parse_select(value: &str) -> Result<Select, String> {
     if value.is_empty() {
         return Err(format!("{ENV_FAULT}: empty fault selector"));
     }
+    // Site names (job names, artifact file names, scenario labels) never
+    // contain `/`, so a slash means the user meant a ratio; a malformed
+    // one (`1/2x`, `a/b`) must not silently become a never-matching site.
     if let Some((m, n)) = value.split_once('/') {
-        if let (Ok(m), Ok(n)) = (m.trim().parse::<u64>(), n.trim().parse::<u64>()) {
-            if n == 0 {
-                return Err(format!("{ENV_FAULT}: ratio `{value}` has zero denominator"));
-            }
-            return Ok(Select::Ratio(m, n));
+        let m = m
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("{ENV_FAULT}: ratio `{value}` has a bad numerator"))?;
+        let n = n
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("{ENV_FAULT}: ratio `{value}` has a bad denominator"))?;
+        if n == 0 {
+            return Err(format!("{ENV_FAULT}: ratio `{value}` has zero denominator"));
         }
+        return Ok(Select::Ratio(m, n));
     }
     Ok(Select::Site(value.to_owned()))
 }
@@ -365,6 +400,26 @@ mod tests {
         for bad in ["panic", "wat=1/2", "seed=x", "panic=1/0", "torn="] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    /// Misconfigurations that used to silently degrade into selectors
+    /// that never fire must now be hard parse errors (a long-running
+    /// server would otherwise discover the typo hours in, as a no-op).
+    #[test]
+    fn rejects_silently_inert_plans() {
+        for bad in [
+            "panic=1/2x",          // almost-ratio became Site("1/2x")
+            "torn=a/b",            // slash always means ratio
+            "stall=1/6:25x",       // malformed ms tail became a site name
+            "stall=1/6:",          // empty ms tail likewise
+            "panic=1/4,panic=1/2", // duplicate clause: first one ignored
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // The well-formed shapes all still parse.
+        assert!(FaultPlan::parse("stall=fig12_tmnm_coverage").is_ok());
+        assert!(FaultPlan::parse("stall=fig12_tmnm_coverage:90").is_ok());
+        assert!(FaultPlan::parse("stall=1/6:250,panic=1/8").is_ok());
     }
 
     #[test]

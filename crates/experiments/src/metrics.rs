@@ -104,11 +104,23 @@ struct Recorder {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
 
+/// Lock the global recorder, recovering from a poisoned mutex.
+///
+/// The supervisor runs jobs under `catch_unwind`; a job that panics while
+/// its runner holds this lock poisons it, and propagating that poison
+/// would turn every *later* telemetry call — including the supervisor's
+/// own outcome recording — into a panic cascade. The recorder holds plain
+/// counters with no invariants that a mid-update panic could break beyond
+/// one lost record, so recovering the guard is always safe.
+fn lock_recorder() -> std::sync::MutexGuard<'static, Option<Recorder>> {
+    RECORDER.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Start collecting runner telemetry in this process. Harnesses that
 /// build a [`RunManifest`] call this first; everything else pays only an
 /// atomic load per record.
 pub fn enable_telemetry() {
-    *RECORDER.lock().expect("telemetry lock") = Some(Recorder::default());
+    *lock_recorder() = Some(Recorder::default());
     ENABLED.store(true, Ordering::Release);
 }
 
@@ -123,7 +135,7 @@ pub fn record_app_run(run: &AppRun) {
         return;
     }
     let timed = run.cpu.instructions > 0;
-    let mut guard = RECORDER.lock().expect("telemetry lock");
+    let mut guard = lock_recorder();
     let Some(rec) = guard.as_mut() else { return };
     let record = AppRunRecord {
         app: run.app.clone(),
@@ -166,7 +178,7 @@ pub fn record_pool(jobs: usize, threads: usize, wall: Duration, job_durations: &
         job_ms_total: job_durations.iter().map(ms).sum(),
         job_ms_max: job_durations.iter().map(ms).fold(0.0, f64::max),
     };
-    if let Some(rec) = RECORDER.lock().expect("telemetry lock").as_mut() {
+    if let Some(rec) = lock_recorder().as_mut() {
         rec.pools.push(record);
     }
 }
@@ -174,7 +186,7 @@ pub fn record_pool(jobs: usize, threads: usize, wall: Duration, job_durations: &
 /// Take everything recorded so far, leaving the recorder empty (still
 /// enabled).
 pub fn drain_telemetry() -> (Vec<AppRunRecord>, Vec<PoolRecord>) {
-    let mut guard = RECORDER.lock().expect("telemetry lock");
+    let mut guard = lock_recorder();
     match guard.as_mut() {
         Some(rec) => (std::mem::take(&mut rec.app_runs), std::mem::take(&mut rec.pools)),
         None => (Vec::new(), Vec::new()),
@@ -608,6 +620,25 @@ mod tests {
         // Round-trips through the parser.
         let round = Json::parse(&doc.render_pretty()).unwrap();
         assert!(diff_documents(&doc, &round, 0.0).is_empty());
+    }
+
+    /// A job that panics while holding the recorder lock (the supervisor
+    /// isolates the panic with `catch_unwind`) must not convert every
+    /// later telemetry call into a `PoisonError` panic cascade.
+    #[test]
+    fn poisoned_recorder_lock_recovers() {
+        let poison = std::panic::catch_unwind(|| {
+            let _guard = RECORDER.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("job panicked while recording telemetry");
+        });
+        assert!(poison.is_err());
+        assert!(RECORDER.lock().is_err(), "lock is poisoned as the bug requires");
+
+        // Every public entry point must keep working after the poison.
+        enable_telemetry();
+        record_pool(3, 1, Duration::from_millis(5), &[Duration::from_millis(5)]);
+        let (_, pools) = drain_telemetry();
+        assert!(pools.iter().any(|p| p.jobs == 3 && p.threads == 1));
     }
 
     #[test]

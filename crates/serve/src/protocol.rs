@@ -1,0 +1,482 @@
+//! The `jsn serve` wire protocol.
+//!
+//! A session is one connection. The client opens with a **hello**:
+//!
+//! ```text
+//! magic "JSNS" (4) | version u16 LE | config_len u16 LE | config utf-8
+//! ```
+//!
+//! where `config` is a filter preset label: `baseline`, `perfect`, or any
+//! label accepted by `MnmConfig::parse` (`HMNM4`, `TMNM_12x1`, ...). The
+//! server answers with the same magic + version, a status byte
+//! (0 = accepted) and a u16-length-prefixed utf-8 detail string.
+//!
+//! After an accepted hello, both directions speak **frames**:
+//!
+//! ```text
+//! type u8 | payload_len u32 LE | payload
+//! ```
+//!
+//! | type | direction | payload |
+//! |------|-----------|---------|
+//! | [`FrameType::Records`] | client → server | `k` × 20-byte trace records (the `trace-synth` file encoding, sans file header) |
+//! | [`FrameType::Finish`]  | client → server | empty |
+//! | [`FrameType::Summary`] | server → client | 5 × u64 LE: accesses, total latency, L1 hits, misses, bypassed probes |
+//! | [`FrameType::Stats`]   | server → client | final session stats, see [`SessionStatsWire`] |
+//! | [`FrameType::Error`]   | server → client | utf-8 message; the connection closes after it |
+//!
+//! Every `Records` frame is answered by exactly one `Summary`; `Finish`
+//! is answered by one `Stats`. Payload lengths are bounded
+//! ([`MAX_FRAME_BYTES`] by default, server-configurable) so a hostile or
+//! corrupt length field cannot make the server allocate unbounded memory.
+//!
+//! All decode paths return [`WireError`] — never panic — because each
+//! byte may come from a torn write, a short read or a malicious peer.
+
+use trace_synth::{decode_record, Instr, RECORD_BYTES};
+
+/// Connection magic: first four bytes of every hello.
+pub const MAGIC: [u8; 4] = *b"JSNS";
+
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+
+/// Frame header size: type byte + u32 payload length.
+pub const FRAME_HEADER_BYTES: usize = 5;
+
+/// Default upper bound on a frame payload. 64 KiB holds ~3276 records,
+/// far above the useful batch size for `process_many`.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024;
+
+/// Upper bound on the hello config-label length.
+pub const MAX_CONFIG_BYTES: usize = 128;
+
+/// Hello status byte: session accepted.
+pub const STATUS_OK: u8 = 0;
+/// Hello status byte: server at its session cap.
+pub const STATUS_BUSY: u8 = 1;
+/// Hello status byte: bad config label / version / magic.
+pub const STATUS_REJECTED: u8 = 2;
+
+/// Frame type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server: a batch of 20-byte trace records.
+    Records = 1,
+    /// Client → server: end of stream, request final stats.
+    Finish = 2,
+    /// Server → client: batch summary for one `Records` frame.
+    Summary = 3,
+    /// Server → client: final session statistics.
+    Stats = 4,
+    /// Server → client: terminal error description.
+    Error = 5,
+}
+
+impl FrameType {
+    /// Decode a frame-type byte.
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        match v {
+            1 => Some(FrameType::Records),
+            2 => Some(FrameType::Finish),
+            3 => Some(FrameType::Summary),
+            4 => Some(FrameType::Stats),
+            5 => Some(FrameType::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that can go wrong reading the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The peer closed mid-frame or mid-hello: a torn write.
+    Torn {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// The peer made no progress for longer than the stall budget.
+    Stalled,
+    /// The server is shutting down.
+    Shutdown,
+    /// Underlying socket error.
+    Io(String),
+    /// Hello did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Hello carried an unsupported version.
+    BadVersion {
+        /// The version the peer requested.
+        got: u16,
+    },
+    /// Hello config label was too long or not utf-8.
+    BadConfig(String),
+    /// Unknown frame-type byte.
+    BadFrameType(u8),
+    /// Declared payload length exceeds the negotiated bound.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The server's bound.
+        max: u32,
+    },
+    /// A `Records` payload was not a multiple of the record size, or a
+    /// record failed to decode.
+    BadRecords(String),
+    /// The peer sent a frame type that is invalid in its direction or
+    /// session state.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Torn { context } => {
+                write!(f, "connection closed mid-{context} (torn frame)")
+            }
+            WireError::Stalled => write!(f, "peer stalled past the read budget"),
+            WireError::Shutdown => write!(f, "server shutting down"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}, expected \"JSNS\""),
+            WireError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got}, this server speaks {VERSION}")
+            }
+            WireError::BadConfig(e) => write!(f, "bad hello config: {e}"),
+            WireError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte bound")
+            }
+            WireError::BadRecords(e) => write!(f, "bad records payload: {e}"),
+            WireError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame type.
+    pub frame_type: FrameType,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+/// Parse a frame header from its [`FRAME_HEADER_BYTES`] wire bytes,
+/// enforcing the payload bound.
+pub fn parse_frame_header(
+    bytes: &[u8; FRAME_HEADER_BYTES],
+    max_payload: u32,
+) -> Result<FrameHeader, WireError> {
+    let frame_type = FrameType::from_u8(bytes[0]).ok_or(WireError::BadFrameType(bytes[0]))?;
+    let payload_len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    if payload_len > max_payload {
+        return Err(WireError::Oversize { len: payload_len, max: max_payload });
+    }
+    Ok(FrameHeader { frame_type, payload_len })
+}
+
+/// Encode a frame (header + payload) into `out`.
+pub fn encode_frame(frame_type: FrameType, payload: &[u8], out: &mut Vec<u8>) {
+    out.push(frame_type as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encode the client hello for `config`.
+pub fn encode_hello(config: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + config.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(config.len() as u16).to_le_bytes());
+    out.extend_from_slice(config.as_bytes());
+    out
+}
+
+/// Encode the server's hello reply.
+pub fn encode_hello_reply(status: u8, detail: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + detail.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(status);
+    out.extend_from_slice(&(detail.len() as u16).to_le_bytes());
+    out.extend_from_slice(detail.as_bytes());
+    out
+}
+
+/// Decode a `Records` payload into accesses-to-be: every record must
+/// decode, and the payload must be whole records.
+pub fn decode_records(payload: &[u8], out: &mut Vec<Instr>) -> Result<(), WireError> {
+    if !payload.len().is_multiple_of(RECORD_BYTES) {
+        return Err(WireError::BadRecords(format!(
+            "payload of {} bytes is not a multiple of the {RECORD_BYTES}-byte record size",
+            payload.len()
+        )));
+    }
+    for rec in payload.chunks_exact(RECORD_BYTES) {
+        out.push(decode_record(rec).map_err(|e| WireError::BadRecords(e.to_string()))?);
+    }
+    Ok(())
+}
+
+/// Encode a batch summary payload (5 × u64 LE).
+pub fn encode_summary(
+    accesses: u64,
+    total_latency: u64,
+    l1_hits: u64,
+    misses: u64,
+    bypassed: u64,
+) -> [u8; 40] {
+    let mut out = [0u8; 40];
+    for (i, v) in [accesses, total_latency, l1_hits, misses, bypassed].into_iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a batch summary payload.
+pub fn decode_summary(payload: &[u8]) -> Result<[u64; 5], WireError> {
+    if payload.len() != 40 {
+        return Err(WireError::BadRecords(format!(
+            "summary payload is {} bytes, expected 40",
+            payload.len()
+        )));
+    }
+    let mut vals = [0u64; 5];
+    for (i, v) in vals.iter_mut().enumerate() {
+        *v = u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    Ok(vals)
+}
+
+/// Per-structure verdict counts in a final `Stats` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureVerdictsWire {
+    /// Structure name ("dl1", "ul2", ...).
+    pub name: String,
+    /// 1-based cache level.
+    pub level: u8,
+    /// Probes answered by this structure.
+    pub hits: u64,
+    /// Probes this structure could not answer (maybe-verdicts that missed).
+    pub maybe_misses: u64,
+    /// Probes skipped outright on a definite-miss verdict.
+    pub definite_misses: u64,
+}
+
+/// The final `Stats` frame payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionStatsWire {
+    /// Cache accesses replayed.
+    pub accesses: u64,
+    /// Trace records received (memory and non-memory).
+    pub records: u64,
+    /// `Records` frames received.
+    pub frames: u64,
+    /// Total latency in cycles across all accesses.
+    pub total_latency: u64,
+    /// Filter occupancy: entries tracked at session end.
+    pub occupancy_tracked: u64,
+    /// Filter occupancy: total entry capacity.
+    pub occupancy_capacity: u64,
+    /// Per-structure verdict histogram.
+    pub structures: Vec<StructureVerdictsWire>,
+}
+
+impl SessionStatsWire {
+    /// Serialize to the wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.structures.len() * 48);
+        for v in [
+            self.accesses,
+            self.records,
+            self.frames,
+            self.total_latency,
+            self.occupancy_tracked,
+            self.occupancy_capacity,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.structures.len() as u32).to_le_bytes());
+        for s in &self.structures {
+            out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.push(s.level);
+            for v in [s.hits, s.maybe_misses, s.definite_misses] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize from a wire payload.
+    pub fn decode(payload: &[u8]) -> Result<SessionStatsWire, WireError> {
+        let mut cur = Cursor { payload, pos: 0 };
+        let accesses = cur.u64()?;
+        let records = cur.u64()?;
+        let frames = cur.u64()?;
+        let total_latency = cur.u64()?;
+        let occupancy_tracked = cur.u64()?;
+        let occupancy_capacity = cur.u64()?;
+        let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        if count > 64 {
+            return Err(WireError::BadRecords(format!("{count} structures in stats frame")));
+        }
+        let mut structures = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(cur.take(name_len)?.to_vec())
+                .map_err(|_| WireError::BadRecords("structure name is not utf-8".to_string()))?;
+            let level = cur.take(1)?[0];
+            let hits = cur.u64()?;
+            let maybe_misses = cur.u64()?;
+            let definite_misses = cur.u64()?;
+            structures.push(StructureVerdictsWire {
+                name,
+                level,
+                hits,
+                maybe_misses,
+                definite_misses,
+            });
+        }
+        Ok(SessionStatsWire {
+            accesses,
+            records,
+            frames,
+            total_latency,
+            occupancy_tracked,
+            occupancy_capacity,
+            structures,
+        })
+    }
+}
+
+/// Bounds-checked reader over a stats payload.
+struct Cursor<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.payload.len())
+            .ok_or_else(|| WireError::BadRecords("stats payload truncated".to_string()))?;
+        let slice = &self.payload[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_synth::{encode_record, Instr, InstrKind};
+
+    #[test]
+    fn hello_layout_is_stable() {
+        let hello = encode_hello("HMNM4");
+        assert_eq!(&hello[..4], b"JSNS");
+        assert_eq!(u16::from_le_bytes([hello[4], hello[5]]), VERSION);
+        assert_eq!(u16::from_le_bytes([hello[6], hello[7]]), 5);
+        assert_eq!(&hello[8..], b"HMNM4");
+    }
+
+    #[test]
+    fn frame_header_round_trips_and_bounds() {
+        let mut buf = Vec::new();
+        encode_frame(FrameType::Records, &[0u8; 40], &mut buf);
+        let header: [u8; FRAME_HEADER_BYTES] = buf[..FRAME_HEADER_BYTES].try_into().unwrap();
+        let parsed = parse_frame_header(&header, MAX_FRAME_BYTES).unwrap();
+        assert_eq!(parsed.frame_type, FrameType::Records);
+        assert_eq!(parsed.payload_len, 40);
+
+        // Oversize length field is rejected before any allocation.
+        let huge = [1u8, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(matches!(
+            parse_frame_header(&huge, MAX_FRAME_BYTES),
+            Err(WireError::Oversize { .. })
+        ));
+
+        // Unknown type byte.
+        let bad = [99u8, 0, 0, 0, 0];
+        assert!(matches!(
+            parse_frame_header(&bad, MAX_FRAME_BYTES),
+            Err(WireError::BadFrameType(99))
+        ));
+    }
+
+    #[test]
+    fn records_payload_round_trips() {
+        let instrs = [
+            Instr { pc: 0x400000, kind: InstrKind::Load { addr: 0xdead_beef }, src1: 1, src2: 0 },
+            Instr { pc: 0x400004, kind: InstrKind::Store { addr: 0x1234 }, src1: 0, src2: 3 },
+            Instr { pc: 0x400008, kind: InstrKind::Op { latency: 3 }, src1: 2, src2: 2 },
+        ];
+        let mut payload = Vec::new();
+        for &i in &instrs {
+            encode_record(i, &mut payload);
+        }
+        let mut back = Vec::new();
+        decode_records(&payload, &mut back).unwrap();
+        assert_eq!(back, instrs);
+
+        // A ragged payload is rejected.
+        let mut ragged = Vec::new();
+        assert!(matches!(
+            decode_records(&payload[..payload.len() - 1], &mut ragged),
+            Err(WireError::BadRecords(_))
+        ));
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let wire = encode_summary(10, 2000, 7, 3, 5);
+        assert_eq!(decode_summary(&wire).unwrap(), [10, 2000, 7, 3, 5]);
+        assert!(decode_summary(&wire[..39]).is_err());
+    }
+
+    #[test]
+    fn session_stats_round_trip() {
+        let stats = SessionStatsWire {
+            accesses: 1000,
+            records: 4000,
+            frames: 4,
+            total_latency: 123456,
+            occupancy_tracked: 37,
+            occupancy_capacity: 4096,
+            structures: vec![
+                StructureVerdictsWire {
+                    name: "dl1".to_string(),
+                    level: 1,
+                    hits: 900,
+                    maybe_misses: 100,
+                    definite_misses: 0,
+                },
+                StructureVerdictsWire {
+                    name: "ul2".to_string(),
+                    level: 2,
+                    hits: 60,
+                    maybe_misses: 10,
+                    definite_misses: 30,
+                },
+            ],
+        };
+        let wire = stats.encode();
+        assert_eq!(SessionStatsWire::decode(&wire).unwrap(), stats);
+        // Truncation anywhere inside must error, never panic.
+        for cut in 0..wire.len() {
+            assert!(SessionStatsWire::decode(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

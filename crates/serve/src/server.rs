@@ -1,0 +1,806 @@
+//! The `jsn serve` daemon: a threaded TCP / unix-socket server that
+//! runs one [`SessionCore`] per connection.
+//!
+//! ## Threading and back-pressure
+//!
+//! Each accepted session gets two threads: a **reader** that pulls
+//! frames off the socket and a **worker** that replays them. They are
+//! joined by a *bounded* [`std::sync::mpsc::sync_channel`]: when the
+//! worker falls behind, the channel fills, the reader blocks, the
+//! kernel receive buffer fills, and the client's writes stall — classic
+//! TCP back-pressure with a hard bound on per-session buffered memory
+//! (`queue_frames × max_frame_bytes` plus one in-flight frame).
+//!
+//! Global memory is bounded by `max_sessions`: a hello past the cap is
+//! answered with `STATUS_BUSY` and the connection closed. A client that
+//! makes no byte progress for `stall_timeout` is evicted.
+//!
+//! ## Shutdown
+//!
+//! SIGINT/SIGTERM (or [`ServerHandle::shutdown`]) stops the accept
+//! loop; live sessions get up to `drain` to finish, are told
+//! `server shutting down` in an `Error` frame otherwise, and the final
+//! metrics page is flushed through the crash-safe `fsio` writer.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cache_sim::{Hierarchy, HierarchyConfig, StructureStats};
+
+use crate::metrics::{Registry, SessionGauge};
+use crate::protocol::{
+    encode_frame, encode_hello_reply, parse_frame_header, FrameHeader, FrameType, WireError,
+    FRAME_HEADER_BYTES, MAGIC, MAX_CONFIG_BYTES, MAX_FRAME_BYTES, STATUS_BUSY, STATUS_OK,
+    STATUS_REJECTED, VERSION,
+};
+use crate::session::SessionCore;
+use crate::signal;
+
+/// Socket poll tick: reads time out this often so loops can check the
+/// shutdown flag and stall budget.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address like `127.0.0.1:7227`.
+    Tcp(String),
+    /// A unix socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse `unix:<path>` or `<host>:<port>`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a path: unix:/tmp/jsn.sock".to_string());
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if s.contains(':') {
+            Ok(Endpoint::Tcp(s.to_string()))
+        } else {
+            Err(format!("endpoint `{s}` is neither unix:<path> nor <host>:<port>"))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "{a}"),
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// Server tuning knobs, all bounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; hellos past the cap get `STATUS_BUSY`.
+    pub max_sessions: usize,
+    /// Bounded frame-queue depth between reader and worker (≥ 1).
+    pub queue_frames: usize,
+    /// Maximum frame payload the server will accept.
+    pub max_frame_bytes: u32,
+    /// Evict a session making no byte progress for this long.
+    pub stall_timeout: Duration,
+    /// How long shutdown waits for live sessions to finish.
+    pub drain: Duration,
+    /// Where to flush the final metrics snapshot on shutdown.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            queue_frames: 32,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            stall_timeout: Duration::from_secs(10),
+            drain: Duration::from_secs(5),
+            snapshot_path: None,
+        }
+    }
+}
+
+/// A live connection, TCP or unix.
+pub enum Conn {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix-socket transport.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    pub(crate) fn set_timeouts(&self, t: Duration) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))
+            }
+            Conn::Unix(s) => {
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))
+            }
+        }
+    }
+
+    pub(crate) fn shutdown_both(&self) {
+        let _ = match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, v: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(v),
+            Listener::Unix(l) => l.set_nonblocking(v),
+        }
+    }
+}
+
+/// A handle for stopping a running server and reading its metrics.
+#[derive(Clone)]
+pub struct ServerHandle {
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// The server: bind with [`Server::bind`], then block in [`Server::run`].
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    config: ServerConfig,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    next_session: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind `endpoint`. A stale unix socket file from a previous run is
+    /// removed first.
+    pub fn bind(endpoint: Endpoint, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = match &endpoint {
+            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        let hierarchy = Hierarchy::new(HierarchyConfig::paper_five_level());
+        Ok(Server {
+            listener,
+            endpoint,
+            config,
+            registry: Arc::new(Registry::new(&hierarchy)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            next_session: Arc::new(AtomicU64::new(1)),
+        })
+    }
+
+    /// The bound TCP address (resolves port 0), or the configured
+    /// endpoint for unix sockets.
+    pub fn local_endpoint(&self) -> Endpoint {
+        match (&self.listener, &self.endpoint) {
+            (Listener::Tcp(l), _) => match l.local_addr() {
+                Ok(a) => Endpoint::Tcp(a.to_string()),
+                Err(_) => self.endpoint.clone(),
+            },
+            (Listener::Unix(_), e) => e.clone(),
+        }
+    }
+
+    /// The bound TCP socket address, if TCP.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// A handle for shutdown and metrics access.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { registry: Arc::clone(&self.registry), shutdown: Arc::clone(&self.shutdown) }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Accept sessions until shutdown, then drain and flush the final
+    /// metrics snapshot.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutting_down() {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    let registry = Arc::clone(&self.registry);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let config = self.config.clone();
+                    let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(conn, id, &registry, &config, &shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: sessions observe the shutdown flag within one tick.
+        let deadline = Instant::now() + self.config.drain;
+        while self.registry.sessions_active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+
+        if let Some(path) = &self.config.snapshot_path {
+            let page = self.registry.render();
+            mnm_experiments::fsio::write_artifact(path, page.as_bytes())?;
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Read exactly `buf.len()` bytes, tolerating short reads and socket
+/// timeouts, charging bytes to the registry, respecting the stall
+/// budget and the shutdown flag.
+fn read_exact_budget(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    stall: Duration,
+    shutdown: &AtomicBool,
+    registry: &Registry,
+    clean_eof: bool,
+    context: &'static str,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && clean_eof {
+                    WireError::Closed
+                } else {
+                    WireError::Torn { context }
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                registry.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) || signal::requested() {
+                    return Err(WireError::Shutdown);
+                }
+                if last_progress.elapsed() > stall {
+                    return Err(WireError::Stalled);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// One frame off the wire.
+fn read_frame(
+    conn: &mut Conn,
+    stall: Duration,
+    shutdown: &AtomicBool,
+    registry: &Registry,
+    max_payload: u32,
+) -> Result<(FrameHeader, Vec<u8>), WireError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    read_exact_budget(conn, &mut header, stall, shutdown, registry, true, "frame header")?;
+    let parsed = parse_frame_header(&header, max_payload)?;
+    let mut payload = vec![0u8; parsed.payload_len as usize];
+    read_exact_budget(conn, &mut payload, stall, shutdown, registry, false, "frame payload")?;
+    Ok((parsed, payload))
+}
+
+fn write_all_frame(
+    conn: &mut Conn,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame(frame_type, payload, &mut buf);
+    write_with_timeouts(conn, &buf)
+}
+
+/// `write_all` that tolerates the per-socket timeout a few times before
+/// declaring the client stalled (a client that never reads its
+/// summaries must not wedge a worker thread).
+fn write_with_timeouts(conn: &mut Conn, mut buf: &[u8]) -> Result<(), WireError> {
+    let mut stalls = 0;
+    while !buf.is_empty() {
+        match conn.write(buf) {
+            Ok(0) => return Err(WireError::Torn { context: "write" }),
+            Ok(n) => {
+                buf = &buf[n..];
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                stalls += 1;
+                if stalls > 100 {
+                    return Err(WireError::Stalled);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+enum ReaderMsg {
+    Frame(FrameHeader, Vec<u8>),
+    Failed(WireError),
+}
+
+/// How a session ended, for the metrics counters.
+enum Outcome {
+    Completed,
+    Evicted,
+    Failed,
+}
+
+fn handle_connection(
+    mut conn: Conn,
+    id: u64,
+    registry: &Arc<Registry>,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if conn.set_timeouts(TICK).is_err() {
+        return;
+    }
+
+    // Sniff the first four bytes: an HTTP GET serves the metrics page,
+    // anything else must be a protocol hello.
+    let mut head = [0u8; 4];
+    if read_exact_budget(
+        &mut conn,
+        &mut head,
+        config.stall_timeout,
+        shutdown,
+        registry,
+        true,
+        "hello magic",
+    )
+    .is_err()
+    {
+        return;
+    }
+    if &head == b"GET " {
+        serve_metrics(&mut conn, config, shutdown, registry);
+        return;
+    }
+    if head != MAGIC {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_with_timeouts(
+            &mut conn,
+            &encode_hello_reply(STATUS_REJECTED, &WireError::BadMagic(head).to_string()),
+        );
+        return;
+    }
+
+    // Version + config label.
+    let mut fixed = [0u8; 4];
+    if read_exact_budget(
+        &mut conn,
+        &mut fixed,
+        config.stall_timeout,
+        shutdown,
+        registry,
+        false,
+        "hello header",
+    )
+    .is_err()
+    {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let version = u16::from_le_bytes([fixed[0], fixed[1]]);
+    let config_len = u16::from_le_bytes([fixed[2], fixed[3]]) as usize;
+    if version != VERSION {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_with_timeouts(
+            &mut conn,
+            &encode_hello_reply(
+                STATUS_REJECTED,
+                &WireError::BadVersion { got: version }.to_string(),
+            ),
+        );
+        return;
+    }
+    if config_len > MAX_CONFIG_BYTES {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_with_timeouts(
+            &mut conn,
+            &encode_hello_reply(
+                STATUS_REJECTED,
+                &format!("config label of {config_len} bytes is too long"),
+            ),
+        );
+        return;
+    }
+    let mut label_bytes = vec![0u8; config_len];
+    if read_exact_budget(
+        &mut conn,
+        &mut label_bytes,
+        config.stall_timeout,
+        shutdown,
+        registry,
+        false,
+        "hello config",
+    )
+    .is_err()
+    {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let Ok(label) = String::from_utf8(label_bytes) else {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_with_timeouts(
+            &mut conn,
+            &encode_hello_reply(STATUS_REJECTED, "config label is not utf-8"),
+        );
+        return;
+    };
+
+    // Build the session before claiming a slot, so a bad label never
+    // occupies one.
+    let core = match SessionCore::new(&label) {
+        Ok(core) => core,
+        Err(e) => {
+            registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = write_with_timeouts(&mut conn, &encode_hello_reply(STATUS_REJECTED, &e));
+            return;
+        }
+    };
+
+    // Claim a session slot under the global cap.
+    let claimed = registry
+        .sessions_active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            if (n as usize) < config.max_sessions {
+                Some(n + 1)
+            } else {
+                None
+            }
+        })
+        .is_ok();
+    if !claimed {
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_with_timeouts(
+            &mut conn,
+            &encode_hello_reply(
+                STATUS_BUSY,
+                &format!("server at its {}-session cap", config.max_sessions),
+            ),
+        );
+        return;
+    }
+    registry.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+    if write_with_timeouts(&mut conn, &encode_hello_reply(STATUS_OK, "")).is_err() {
+        registry.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+
+    let outcome = run_session(&mut conn, id, core, &label, registry, config, shutdown);
+
+    registry.remove_session_gauge(id);
+    match outcome {
+        Outcome::Completed => registry.sessions_completed.fetch_add(1, Ordering::Relaxed),
+        Outcome::Evicted => registry.sessions_evicted.fetch_add(1, Ordering::Relaxed),
+        Outcome::Failed => registry.sessions_failed.fetch_add(1, Ordering::Relaxed),
+    };
+    registry.sessions_active.fetch_sub(1, Ordering::SeqCst);
+    conn.shutdown_both();
+}
+
+fn run_session(
+    conn: &mut Conn,
+    id: u64,
+    mut core: SessionCore,
+    label: &str,
+    registry: &Arc<Registry>,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+) -> Outcome {
+    let (tx, rx): (SyncSender<ReaderMsg>, Receiver<ReaderMsg>) =
+        std::sync::mpsc::sync_channel(config.queue_frames.max(1));
+
+    let reader_conn = match conn.try_clone() {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
+            return Outcome::Failed;
+        }
+    };
+    let reader = {
+        let registry = Arc::clone(registry);
+        let shutdown = Arc::clone(shutdown);
+        let stall = config.stall_timeout;
+        let max_payload = config.max_frame_bytes;
+        std::thread::spawn(move || {
+            let mut conn = reader_conn;
+            loop {
+                match read_frame(&mut conn, stall, &shutdown, &registry, max_payload) {
+                    Ok((header, payload)) => {
+                        // Blocking send IS the back-pressure: a full
+                        // queue stops the reader, and the kernel buffer
+                        // stalls the client.
+                        if tx.send(ReaderMsg::Frame(header, payload)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(ReaderMsg::Failed(e));
+                        return;
+                    }
+                }
+            }
+        })
+    };
+
+    let mut prev: Vec<StructureStats> = core.structure_stats().to_vec();
+    let mut deltas: Vec<(u64, u64, u64)> = Vec::with_capacity(prev.len());
+    let mut records_scratch = Vec::new();
+    // Once shutdown is observed the session may keep serving until the
+    // drain budget runs out, then is told to go away.
+    let mut drain_deadline: Option<Instant> = None;
+    let outcome = loop {
+        if shutdown.load(Ordering::SeqCst) || signal::requested() {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain);
+            if Instant::now() >= deadline {
+                let _ = write_all_frame(
+                    conn,
+                    FrameType::Error,
+                    WireError::Shutdown.to_string().as_bytes(),
+                );
+                break Outcome::Evicted;
+            }
+        }
+        match rx.recv_timeout(TICK) {
+            Ok(ReaderMsg::Frame(header, payload)) => match header.frame_type {
+                FrameType::Records => {
+                    let t0 = Instant::now();
+                    records_scratch.clear();
+                    if let Err(e) = crate::protocol::decode_records(&payload, &mut records_scratch)
+                    {
+                        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
+                        break Outcome::Failed;
+                    }
+                    let summary = core.feed(&records_scratch);
+                    registry.frames_in.fetch_add(1, Ordering::Relaxed);
+                    registry.records_in.fetch_add(records_scratch.len() as u64, Ordering::Relaxed);
+                    registry.accesses.fetch_add(summary.accesses, Ordering::Relaxed);
+                    deltas.clear();
+                    for (now, before) in core.structure_stats().iter().zip(&prev) {
+                        deltas.push((
+                            now.hits - before.hits,
+                            now.misses - before.misses,
+                            now.bypasses - before.bypasses,
+                        ));
+                    }
+                    registry.add_verdicts(&deltas);
+                    prev.clear();
+                    prev.extend_from_slice(core.structure_stats());
+                    let occ = core.occupancy();
+                    registry.set_session_gauge(
+                        id,
+                        SessionGauge {
+                            config: label.to_string(),
+                            occupancy_tracked: occ.tracked,
+                            occupancy_capacity: occ.capacity,
+                            accesses: core.accesses(),
+                        },
+                    );
+                    let reply = crate::protocol::encode_summary(
+                        summary.accesses,
+                        summary.total_latency,
+                        summary.l1_hits,
+                        summary.misses,
+                        summary.bypassed,
+                    );
+                    if write_all_frame(conn, FrameType::Summary, &reply).is_err() {
+                        break Outcome::Evicted;
+                    }
+                    registry.latency.observe(t0.elapsed().as_micros() as u64);
+                }
+                FrameType::Finish => {
+                    let stats = core.stats_wire().encode();
+                    let _ = write_all_frame(conn, FrameType::Stats, &stats);
+                    break Outcome::Completed;
+                }
+                FrameType::Summary | FrameType::Stats | FrameType::Error => {
+                    registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_all_frame(
+                        conn,
+                        FrameType::Error,
+                        WireError::Unexpected("server-to-client frame type from a client")
+                            .to_string()
+                            .as_bytes(),
+                    );
+                    break Outcome::Failed;
+                }
+            },
+            Ok(ReaderMsg::Failed(e)) => {
+                break match e {
+                    WireError::Stalled => {
+                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
+                        Outcome::Evicted
+                    }
+                    WireError::Shutdown => {
+                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
+                        Outcome::Evicted
+                    }
+                    WireError::Closed | WireError::Torn { .. } | WireError::Io(_) => {
+                        // Mid-session disconnect: nothing to tell the
+                        // peer, the socket is gone.
+                        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        Outcome::Failed
+                    }
+                    other => {
+                        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ =
+                            write_all_frame(conn, FrameType::Error, other.to_string().as_bytes());
+                        Outcome::Failed
+                    }
+                };
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break Outcome::Failed,
+        }
+    };
+
+    // Unblock and reap the reader: closing the socket fails its read.
+    conn.shutdown_both();
+    let _ = reader.join();
+    outcome
+}
+
+/// Serve `GET /metrics` (HTTP/1.0, close-delimited). The `GET ` prefix
+/// has already been consumed.
+fn serve_metrics(
+    conn: &mut Conn,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    registry: &Arc<Registry>,
+) {
+    // Read the rest of the request head, bounded.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    let deadline = Instant::now() + config.stall_timeout;
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") && head.len() < 4096 {
+        match conn.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() > deadline
+                    || shutdown.load(Ordering::SeqCst)
+                    || signal::requested()
+                {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let path =
+        std::str::from_utf8(&head).ok().and_then(|s| s.split_whitespace().next()).unwrap_or("");
+    let (status, body) = if path.starts_with("/metrics") {
+        registry.scrapes.fetch_add(1, Ordering::Relaxed);
+        ("200 OK", registry.render())
+    } else {
+        ("404 Not Found", format!("no such page `{path}`; scrape /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = write_with_timeouts(conn, response.as_bytes());
+    conn.shutdown_both();
+}

@@ -1,0 +1,246 @@
+//! One replay session: a private cache hierarchy plus a filter preset.
+//!
+//! [`SessionCore`] is the piece shared between the server and the offline
+//! verifier: both feed it the same records through [`SessionCore::feed`],
+//! so the verdict histogram a client scrapes from a live server is
+//! bit-identical to an offline replay of the same trace — the property
+//! `jsn slam --verify` checks end-to-end.
+//!
+//! Records are converted exactly like the functional replay path of
+//! `jsn run`: loads and stores become data-side cache accesses; ops and
+//! branches advance the record count but touch no cache.
+
+use cache_sim::{
+    Access, AccessFilter, BatchSummary, BypassSet, CacheEvent, Hierarchy, HierarchyConfig,
+    NoFilter, ProbeRecord, ReplaySession, StructureStats,
+};
+use mnm_core::{FilterOccupancy, Mnm, MnmConfig, PerfectFilter};
+use trace_synth::{Instr, InstrKind};
+
+use crate::protocol::{SessionStatsWire, StructureVerdictsWire};
+
+/// The filter presets a session can request in its hello.
+pub enum SessionFilter {
+    /// No filter: every probe is a normal probe.
+    Baseline(NoFilter),
+    /// The oracle filter (paper §4.3): bypasses exactly the true misses.
+    Perfect(PerfectFilter),
+    /// A Mostly No Machine built from an `MnmConfig` label.
+    Mnm(Box<Mnm>),
+}
+
+impl AccessFilter for SessionFilter {
+    fn query(&mut self, hierarchy: &Hierarchy, access: Access) -> BypassSet {
+        match self {
+            SessionFilter::Baseline(f) => f.query(hierarchy, access),
+            SessionFilter::Perfect(f) => f.query(hierarchy, access),
+            SessionFilter::Mnm(f) => <Mnm as AccessFilter>::query(f, hierarchy, access),
+        }
+    }
+
+    fn observe_events(&mut self, hierarchy: &Hierarchy, events: &[CacheEvent]) {
+        match self {
+            SessionFilter::Baseline(f) => f.observe_events(hierarchy, events),
+            SessionFilter::Perfect(f) => f.observe_events(hierarchy, events),
+            SessionFilter::Mnm(f) => <Mnm as AccessFilter>::observe_events(f, hierarchy, events),
+        }
+    }
+
+    fn note_probes(&mut self, access: Access, probes: &[ProbeRecord]) {
+        match self {
+            SessionFilter::Baseline(f) => f.note_probes(access, probes),
+            SessionFilter::Perfect(f) => f.note_probes(access, probes),
+            SessionFilter::Mnm(f) => <Mnm as AccessFilter>::note_probes(f, access, probes),
+        }
+    }
+}
+
+/// Parse a hello config label into a filter for `hierarchy`.
+///
+/// Accepts `baseline`, `perfect`, or any `MnmConfig` label
+/// (`HMNM4`, `TMNM_12x1`, `BLOOM_13x4`, ...).
+pub fn parse_preset(label: &str, hierarchy: &Hierarchy) -> Result<SessionFilter, String> {
+    match label {
+        "baseline" => Ok(SessionFilter::Baseline(NoFilter)),
+        "perfect" => Ok(SessionFilter::Perfect(PerfectFilter)),
+        other => {
+            let config = MnmConfig::parse(other)
+                .map_err(|e| format!("unknown filter preset `{other}`: {e} (try `baseline`, `perfect`, or an MNM label like `HMNM4`)"))?;
+            Ok(SessionFilter::Mnm(Box::new(Mnm::new(hierarchy, config))))
+        }
+    }
+}
+
+/// A session's replay state: its own hierarchy, filter, and counters.
+pub struct SessionCore {
+    hierarchy: Hierarchy,
+    filter: SessionFilter,
+    /// Scratch buffer of converted accesses, reused across frames.
+    batch: Vec<Access>,
+    /// Trace records seen (including non-memory records).
+    records: u64,
+    /// `Records` frames fed.
+    frames: u64,
+    /// Cache accesses replayed.
+    accesses: u64,
+    /// Total latency across all accesses, in cycles.
+    total_latency: u64,
+}
+
+impl SessionCore {
+    /// Build a session for `preset` on the paper's five-level hierarchy.
+    pub fn new(preset: &str) -> Result<SessionCore, String> {
+        SessionCore::with_config(preset, HierarchyConfig::paper_five_level())
+    }
+
+    /// Build a session on a specific hierarchy configuration.
+    pub fn with_config(preset: &str, config: HierarchyConfig) -> Result<SessionCore, String> {
+        let hierarchy = Hierarchy::new(config);
+        let filter = parse_preset(preset, &hierarchy)?;
+        Ok(SessionCore {
+            hierarchy,
+            filter,
+            batch: Vec::new(),
+            records: 0,
+            frames: 0,
+            accesses: 0,
+            total_latency: 0,
+        })
+    }
+
+    /// Replay one frame of records. Loads/stores become data accesses;
+    /// other record kinds only advance the record count.
+    pub fn feed(&mut self, instrs: &[Instr]) -> BatchSummary {
+        self.batch.clear();
+        for instr in instrs {
+            match instr.kind {
+                InstrKind::Load { addr } => self.batch.push(Access::load(addr)),
+                InstrKind::Store { addr } => self.batch.push(Access::store(addr)),
+                InstrKind::Op { .. } | InstrKind::Branch { .. } => {}
+            }
+        }
+        self.records += instrs.len() as u64;
+        self.frames += 1;
+        let summary =
+            ReplaySession::new(&mut self.hierarchy, &mut self.filter).process_many(&self.batch);
+        self.accesses += summary.accesses;
+        self.total_latency += summary.total_latency;
+        summary
+    }
+
+    /// Cumulative per-structure stats (the verdict histogram source).
+    pub fn structure_stats(&self) -> &[StructureStats] {
+        &self.hierarchy.stats().structures
+    }
+
+    /// A snapshot of per-structure verdict counts with names and levels.
+    pub fn verdicts(&self) -> Vec<StructureVerdictsWire> {
+        self.hierarchy
+            .structures()
+            .iter()
+            .zip(&self.hierarchy.stats().structures)
+            .map(|(info, stats)| StructureVerdictsWire {
+                name: info.name.clone(),
+                level: info.level,
+                hits: stats.hits,
+                maybe_misses: stats.misses,
+                definite_misses: stats.bypasses,
+            })
+            .collect()
+    }
+
+    /// The filter's dynamic occupancy (zero for baseline/perfect, which
+    /// track no state).
+    pub fn occupancy(&self) -> FilterOccupancy {
+        match &self.filter {
+            SessionFilter::Baseline(_) | SessionFilter::Perfect(_) => FilterOccupancy::default(),
+            SessionFilter::Mnm(m) => m.occupancy(),
+        }
+    }
+
+    /// Final session stats in wire form.
+    pub fn stats_wire(&self) -> SessionStatsWire {
+        let occ = self.occupancy();
+        SessionStatsWire {
+            accesses: self.accesses,
+            records: self.records,
+            frames: self.frames,
+            total_latency: self.total_latency,
+            occupancy_tracked: occ.tracked,
+            occupancy_capacity: occ.capacity,
+            structures: self.verdicts(),
+        }
+    }
+
+    /// Cache accesses replayed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Trace records seen so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_synth::{profiles, Program};
+
+    fn sample_instrs(n: usize) -> Vec<Instr> {
+        let profile = profiles::by_name("181.mcf").unwrap();
+        Program::new(profile).take(n).collect()
+    }
+
+    #[test]
+    fn presets_parse_and_unknown_is_an_error() {
+        assert!(SessionCore::new("baseline").is_ok());
+        assert!(SessionCore::new("perfect").is_ok());
+        assert!(SessionCore::new("HMNM4").is_ok());
+        assert!(SessionCore::new("TMNM_12x1").is_ok());
+        let err = SessionCore::new("no-such-filter").map(|_| ()).unwrap_err();
+        assert!(err.contains("no-such-filter"), "error names the bad label: {err}");
+    }
+
+    #[test]
+    fn feed_matches_monolithic_replay_regardless_of_chunking() {
+        let instrs = sample_instrs(20_000);
+
+        // One big frame.
+        let mut whole = SessionCore::new("HMNM4").unwrap();
+        whole.feed(&instrs);
+
+        // Many uneven frames.
+        let mut chunked = SessionCore::new("HMNM4").unwrap();
+        let mut rest = &instrs[..];
+        let mut step = 1usize;
+        while !rest.is_empty() {
+            let k = step.min(rest.len());
+            chunked.feed(&rest[..k]);
+            rest = &rest[k..];
+            step = step * 2 + 1;
+        }
+
+        assert_eq!(whole.accesses(), chunked.accesses());
+        assert_eq!(whole.verdicts(), chunked.verdicts());
+        assert_eq!(whole.stats_wire().total_latency, chunked.stats_wire().total_latency);
+    }
+
+    #[test]
+    fn verdict_counts_add_up_to_probe_totals() {
+        let mut core = SessionCore::new("HMNM4").unwrap();
+        core.feed(&sample_instrs(50_000));
+        for v in core.verdicts() {
+            // Every data-side probe lands in exactly one bucket; the
+            // hierarchy's own accounting must agree.
+            assert!(
+                v.hits + v.maybe_misses > 0 || v.definite_misses > 0 || v.name.starts_with("il"),
+                "{v:?}"
+            );
+        }
+        let occ = core.occupancy();
+        assert!(occ.capacity > 0);
+        assert!(occ.tracked > 0, "a warm HMNM tracks state");
+    }
+}

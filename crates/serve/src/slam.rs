@@ -1,0 +1,530 @@
+//! `jsn slam`: a load generator for `jsn serve`.
+//!
+//! Spawns N concurrent client sessions, each streaming a deterministic
+//! synthetic-profile trace (derived from `--seed`, so any run can be
+//! reproduced offline), and reports sessions/sec, per-frame round-trip
+//! p50/p99 and dropped-frame counts.
+//!
+//! With `--verify`, after the slam finishes the server's `/metrics`
+//! page is scraped and its global verdict histogram compared against an
+//! offline replay of the exact same sessions through the same
+//! [`SessionCore`] — the counts must match **bit for bit**, proving the
+//! service path is the replay path.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use trace_synth::{encode_record, profiles, Instr, Program};
+
+use crate::protocol::{
+    decode_summary, encode_hello, parse_frame_header, FrameType, SessionStatsWire,
+    FRAME_HEADER_BYTES, MAGIC, STATUS_OK,
+};
+use crate::server::{Conn, Endpoint};
+use crate::session::SessionCore;
+
+/// How long a slam client waits on a single read before giving up.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct SlamOptions {
+    /// Server endpoint.
+    pub endpoint: Endpoint,
+    /// Concurrent sessions to run.
+    pub sessions: usize,
+    /// Trace records per session.
+    pub records: u64,
+    /// Records per `Records` frame.
+    pub frame_records: usize,
+    /// Filter preset label sent in each hello.
+    pub config: String,
+    /// Base seed; session `k` derives its profile and trace from it.
+    pub seed: u64,
+    /// Outstanding unacknowledged frames per session (pipelining).
+    pub window: usize,
+    /// Scrape `/metrics` afterwards and compare with an offline replay.
+    pub verify: bool,
+}
+
+impl Default for SlamOptions {
+    fn default() -> Self {
+        SlamOptions {
+            endpoint: Endpoint::Tcp("127.0.0.1:7227".to_string()),
+            sessions: 32,
+            records: 50_000,
+            frame_records: 1024,
+            config: "HMNM4".to_string(),
+            seed: 42,
+            window: 4,
+            verify: false,
+        }
+    }
+}
+
+/// Outcome of a verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Per-structure/per-verdict mismatches, empty on success.
+    pub mismatches: Vec<String>,
+    /// Counters compared.
+    pub compared: usize,
+}
+
+/// Aggregate slam results.
+#[derive(Debug, Clone, Default)]
+pub struct SlamReport {
+    /// Sessions that ran to a clean `Stats` frame.
+    pub sessions_ok: u64,
+    /// Sessions that errored (with the first few reasons).
+    pub sessions_failed: u64,
+    /// First few failure descriptions.
+    pub failures: Vec<String>,
+    /// `Records` frames sent across all sessions.
+    pub frames_sent: u64,
+    /// Summary frames received back.
+    pub frames_acked: u64,
+    /// Trace records streamed.
+    pub records_sent: u64,
+    /// Cache accesses acknowledged by the server.
+    pub accesses_acked: u64,
+    /// Wall-clock duration of the slam.
+    pub elapsed: Duration,
+    /// Median per-frame round trip (µs).
+    pub p50_us: u64,
+    /// 99th-percentile per-frame round trip (µs).
+    pub p99_us: u64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Verification outcome, when requested.
+    pub verify: Option<VerifyReport>,
+}
+
+impl SlamReport {
+    /// Frames sent but never acknowledged.
+    pub fn dropped_frames(&self) -> u64 {
+        self.frames_sent.saturating_sub(self.frames_acked)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic trace for slam session `k`: one of the 20
+/// synthetic SPEC2000-like profiles, reseeded per session.
+pub fn session_instrs(base_seed: u64, k: usize, records: u64) -> Vec<Instr> {
+    let all = profiles::all();
+    let pick = (splitmix64(base_seed.wrapping_add(k as u64)) % all.len() as u64) as usize;
+    let mut profile = all.into_iter().nth(pick).unwrap();
+    profile.seed = splitmix64(base_seed ^ (k as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+    Program::new(profile).take(records as usize).collect()
+}
+
+fn connect(endpoint: &Endpoint) -> Result<Conn, String> {
+    let conn = match endpoint {
+        Endpoint::Tcp(addr) => Conn::Tcp(
+            std::net::TcpStream::connect(addr.as_str())
+                .map_err(|e| format!("connect {addr}: {e}"))?,
+        ),
+        Endpoint::Unix(path) => Conn::Unix(
+            std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("connect {}: {e}", path.display()))?,
+        ),
+    };
+    conn.set_timeouts(CLIENT_READ_TIMEOUT).map_err(|e| e.to_string())?;
+    Ok(conn)
+}
+
+fn read_exact_client(conn: &mut Conn, buf: &mut [u8]) -> Result<(), String> {
+    conn.read_exact(buf).map_err(|e| format!("read: {e}"))
+}
+
+/// Read the server's hello reply; `Ok` carries the status detail.
+fn read_hello_reply(conn: &mut Conn) -> Result<(), String> {
+    let mut fixed = [0u8; 7];
+    read_exact_client(conn, &mut fixed)?;
+    if fixed[..4] != MAGIC {
+        return Err(format!("hello reply has bad magic {:02x?}", &fixed[..4]));
+    }
+    let status = fixed[6];
+    let mut len = [0u8; 2];
+    read_exact_client(conn, &mut len)?;
+    let mut detail = vec![0u8; u16::from_le_bytes(len) as usize];
+    read_exact_client(conn, &mut detail)?;
+    if status != STATUS_OK {
+        return Err(format!(
+            "session refused (status {status}): {}",
+            String::from_utf8_lossy(&detail)
+        ));
+    }
+    Ok(())
+}
+
+/// Read one server frame.
+fn read_server_frame(conn: &mut Conn) -> Result<(FrameType, Vec<u8>), String> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    read_exact_client(conn, &mut header)?;
+    let parsed = parse_frame_header(&header, u32::MAX).map_err(|e| e.to_string())?;
+    let mut payload = vec![0u8; parsed.payload_len as usize];
+    read_exact_client(conn, &mut payload)?;
+    Ok((parsed.frame_type, payload))
+}
+
+struct SessionResult {
+    frames_sent: u64,
+    frames_acked: u64,
+    records_sent: u64,
+    accesses_acked: u64,
+    latencies_us: Vec<u64>,
+    error: Option<String>,
+}
+
+/// Run one client session: stream `instrs` in frames with a pipelining
+/// window, collect per-frame round trips, finish with a `Stats` frame.
+fn run_client_session(
+    endpoint: &Endpoint,
+    config: &str,
+    instrs: &[Instr],
+    frame_records: usize,
+    window: usize,
+) -> SessionResult {
+    let mut result = SessionResult {
+        frames_sent: 0,
+        frames_acked: 0,
+        records_sent: 0,
+        accesses_acked: 0,
+        latencies_us: Vec::new(),
+        error: None,
+    };
+    let mut run = || -> Result<(), String> {
+        let mut conn = connect(endpoint)?;
+        conn.write_all(&encode_hello(config)).map_err(|e| format!("hello: {e}"))?;
+        read_hello_reply(&mut conn)?;
+
+        let window = window.max(1);
+        let mut in_flight: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+        let mut frame =
+            Vec::with_capacity(frame_records * trace_synth::RECORD_BYTES + FRAME_HEADER_BYTES);
+        let ack = |conn: &mut Conn,
+                   in_flight: &mut std::collections::VecDeque<Instant>,
+                   result: &mut SessionResult|
+         -> Result<(), String> {
+            let (frame_type, payload) = read_server_frame(conn)?;
+            match frame_type {
+                FrameType::Summary => {
+                    let vals = decode_summary(&payload).map_err(|e| e.to_string())?;
+                    result.accesses_acked += vals[0];
+                    result.frames_acked += 1;
+                    if let Some(t0) = in_flight.pop_front() {
+                        result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Ok(())
+                }
+                FrameType::Error => {
+                    Err(format!("server error: {}", String::from_utf8_lossy(&payload)))
+                }
+                other => Err(format!("unexpected {other:?} frame while awaiting a summary")),
+            }
+        };
+
+        for chunk in instrs.chunks(frame_records.max(1)) {
+            frame.clear();
+            frame.push(FrameType::Records as u8);
+            frame.extend_from_slice(
+                &((chunk.len() * trace_synth::RECORD_BYTES) as u32).to_le_bytes(),
+            );
+            for &instr in chunk {
+                encode_record(instr, &mut frame);
+            }
+            conn.write_all(&frame).map_err(|e| format!("send frame: {e}"))?;
+            in_flight.push_back(Instant::now());
+            result.frames_sent += 1;
+            result.records_sent += chunk.len() as u64;
+            while in_flight.len() >= window {
+                ack(&mut conn, &mut in_flight, &mut result)?;
+            }
+        }
+        while !in_flight.is_empty() {
+            ack(&mut conn, &mut in_flight, &mut result)?;
+        }
+
+        let mut finish = Vec::new();
+        crate::protocol::encode_frame(FrameType::Finish, &[], &mut finish);
+        conn.write_all(&finish).map_err(|e| format!("send finish: {e}"))?;
+        let (frame_type, payload) = read_server_frame(&mut conn)?;
+        match frame_type {
+            FrameType::Stats => {
+                let stats = SessionStatsWire::decode(&payload).map_err(|e| e.to_string())?;
+                if stats.frames != result.frames_sent {
+                    return Err(format!(
+                        "server counted {} frames, client sent {}",
+                        stats.frames, result.frames_sent
+                    ));
+                }
+                Ok(())
+            }
+            FrameType::Error => {
+                Err(format!("server error at finish: {}", String::from_utf8_lossy(&payload)))
+            }
+            other => Err(format!("unexpected {other:?} frame at finish")),
+        }
+    };
+    result.error = run().err();
+    result
+}
+
+/// Scrape the server's `/metrics` page; returns the body.
+pub fn scrape_metrics(endpoint: &Endpoint) -> Result<String, String> {
+    let mut conn = connect(endpoint)?;
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").map_err(|e| format!("scrape: {e}"))?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response).map_err(|e| format!("scrape read: {e}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| "scrape response has no body".to_string())?;
+    if !response.starts_with("HTTP/1.0 200") {
+        return Err(format!("scrape failed: {}", response.lines().next().unwrap_or("")));
+    }
+    Ok(body)
+}
+
+/// Parse all `jsn_verdict_total` counters out of a metrics page into
+/// `(structure, verdict) → count`.
+pub fn parse_verdicts(page: &str) -> BTreeMap<(String, String), u64> {
+    let mut out = BTreeMap::new();
+    for line in page.lines() {
+        let Some(rest) = line.strip_prefix("jsn_verdict_total{") else { continue };
+        let Some((labels, value)) = rest.split_once("} ") else { continue };
+        let mut structure = None;
+        let mut verdict = None;
+        for part in labels.split(',') {
+            if let Some(v) = part.strip_prefix("structure=\"") {
+                structure = Some(v.trim_end_matches('"').to_string());
+            } else if let Some(v) = part.strip_prefix("verdict=\"") {
+                verdict = Some(v.trim_end_matches('"').to_string());
+            }
+        }
+        if let (Some(s), Some(v), Ok(n)) = (structure, verdict, value.trim().parse::<u64>()) {
+            out.insert((s, v), n);
+        }
+    }
+    out
+}
+
+/// Replay the slam's sessions offline and return the expected global
+/// verdict histogram, `(structure, verdict) → count`.
+pub fn offline_verdicts(opts: &SlamOptions) -> Result<BTreeMap<(String, String), u64>, String> {
+    let mut expected: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for k in 0..opts.sessions {
+        let mut core = SessionCore::new(&opts.config)?;
+        let instrs = session_instrs(opts.seed, k, opts.records);
+        for chunk in instrs.chunks(opts.frame_records.max(1)) {
+            core.feed(chunk);
+        }
+        for v in core.verdicts() {
+            *expected.entry((v.name.clone(), "hit".to_string())).or_default() += v.hits;
+            *expected.entry((v.name.clone(), "maybe_miss".to_string())).or_default() +=
+                v.maybe_misses;
+            *expected.entry((v.name.clone(), "definite_miss".to_string())).or_default() +=
+                v.definite_misses;
+        }
+    }
+    Ok(expected)
+}
+
+/// Compare a scraped page against the offline replay.
+pub fn verify_against_offline(opts: &SlamOptions, page: &str) -> VerifyReport {
+    let scraped = parse_verdicts(page);
+    let expected = match offline_verdicts(opts) {
+        Ok(e) => e,
+        Err(e) => {
+            return VerifyReport {
+                mismatches: vec![format!("offline replay failed: {e}")],
+                compared: 0,
+            };
+        }
+    };
+    let mut report = VerifyReport::default();
+    for (key, want) in &expected {
+        let got = scraped.get(key).copied().unwrap_or(0);
+        report.compared += 1;
+        if got != *want {
+            report.mismatches.push(format!(
+                "{}/{}: server counted {got}, offline replay expects {want}",
+                key.0, key.1
+            ));
+        }
+    }
+    report
+}
+
+/// Run the load generator.
+pub fn run_slam(opts: &SlamOptions) -> Result<SlamReport, String> {
+    if opts.sessions == 0 {
+        return Err("need at least one session".to_string());
+    }
+    let started = Instant::now();
+    let all_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<SessionResult>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for k in 0..opts.sessions {
+            let all_latencies = &all_latencies;
+            let results = &results;
+            let opts = &*opts;
+            scope.spawn(move || {
+                let instrs = session_instrs(opts.seed, k, opts.records);
+                let mut r = run_client_session(
+                    &opts.endpoint,
+                    &opts.config,
+                    &instrs,
+                    opts.frame_records,
+                    opts.window,
+                );
+                all_latencies
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .append(&mut r.latencies_us);
+                results.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(r);
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let mut latencies =
+        all_latencies.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+
+    let mut report = SlamReport {
+        elapsed,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        ..SlamReport::default()
+    };
+    for r in results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        report.frames_sent += r.frames_sent;
+        report.frames_acked += r.frames_acked;
+        report.records_sent += r.records_sent;
+        report.accesses_acked += r.accesses_acked;
+        match r.error {
+            None => report.sessions_ok += 1,
+            Some(e) => {
+                report.sessions_failed += 1;
+                if report.failures.len() < 5 {
+                    report.failures.push(e);
+                }
+            }
+        }
+    }
+    report.sessions_per_sec = report.sessions_ok as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    if opts.verify {
+        let page = scrape_metrics(&opts.endpoint)?;
+        report.verify = Some(verify_against_offline(opts, &page));
+    }
+    Ok(report)
+}
+
+/// Render a human-readable slam report.
+pub fn format_report(report: &SlamReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sessions: {} ok, {} failed ({:.1} sessions/sec)",
+        report.sessions_ok, report.sessions_failed, report.sessions_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "frames:   {} sent, {} acked, {} dropped",
+        report.frames_sent,
+        report.frames_acked,
+        report.dropped_frames()
+    );
+    let _ = writeln!(
+        out,
+        "records:  {} sent, {} accesses replayed",
+        report.records_sent, report.accesses_acked
+    );
+    let _ = writeln!(
+        out,
+        "latency:  p50 {} us, p99 {} us per frame round-trip, {:.2}s wall",
+        report.p50_us,
+        report.p99_us,
+        report.elapsed.as_secs_f64()
+    );
+    for f in &report.failures {
+        let _ = writeln!(out, "failure:  {f}");
+    }
+    match &report.verify {
+        Some(v) if v.mismatches.is_empty() => {
+            let _ = writeln!(
+                out,
+                "verify:   OK — {} verdict counters bit-identical to offline replay",
+                v.compared
+            );
+        }
+        Some(v) => {
+            let _ = writeln!(
+                out,
+                "verify:   FAILED — {} of {} counters differ",
+                v.mismatches.len(),
+                v.compared
+            );
+            for m in &v.mismatches {
+                let _ = writeln!(out, "  {m}");
+            }
+        }
+        None => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_instrs_are_deterministic_and_distinct() {
+        let a = session_instrs(42, 0, 1000);
+        let b = session_instrs(42, 0, 1000);
+        let c = session_instrs(42, 1, 1000);
+        assert_eq!(a, b, "same seed and session must reproduce the trace");
+        assert_ne!(a, c, "different sessions must differ");
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn verdict_page_parsing_round_trips() {
+        let page = "jsn_verdict_total{structure=\"dl1\",level=\"1\",verdict=\"hit\"} 42\n\
+                    jsn_verdict_total{structure=\"ul2\",level=\"2\",verdict=\"definite_miss\"} 7\n\
+                    jsn_other 1\n";
+        let v = parse_verdicts(page);
+        assert_eq!(v.get(&("dl1".to_string(), "hit".to_string())), Some(&42));
+        assert_eq!(v.get(&("ul2".to_string(), "definite_miss".to_string())), Some(&7));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn offline_verdicts_match_themselves() {
+        let opts = SlamOptions { sessions: 2, records: 2000, ..SlamOptions::default() };
+        let a = offline_verdicts(&opts).unwrap();
+        let b = offline_verdicts(&opts).unwrap();
+        assert_eq!(a, b);
+        assert!(a.values().any(|&v| v > 0), "a 2k-record replay produces verdicts");
+    }
+}

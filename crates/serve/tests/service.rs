@@ -1,0 +1,359 @@
+//! Integration tests for `jsn serve`: wire-protocol robustness (torn
+//! frames, short reads, oversize headers, version mismatches,
+//! mid-session disconnects) and the end-to-end acceptance run — 32
+//! concurrent slam sessions with zero dropped frames and a verdict
+//! histogram bit-identical to an offline replay.
+//!
+//! Every robustness case must end as a clean per-session error with no
+//! leaked session slot: `sessions_active` returns to zero and the
+//! gauge table empties.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use mnm_serve::protocol::{
+    encode_hello, FrameType, MAGIC, STATUS_BUSY, STATUS_OK, STATUS_REJECTED, VERSION,
+};
+use mnm_serve::server::{Endpoint, Server, ServerConfig, ServerHandle};
+use mnm_serve::slam::{run_slam, scrape_metrics, SlamOptions};
+
+/// Start a server on an ephemeral TCP port; returns its handle, the
+/// endpoint, and the join handle of the accept loop.
+fn start_server(
+    config: ServerConfig,
+) -> (ServerHandle, Endpoint, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(Endpoint::Tcp("127.0.0.1:0".to_string()), config).expect("bind");
+    let endpoint = server.local_endpoint();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, endpoint, join)
+}
+
+fn tcp_connect(endpoint: &Endpoint) -> TcpStream {
+    let Endpoint::Tcp(addr) = endpoint else { panic!("expected tcp endpoint") };
+    let s = TcpStream::connect(addr.as_str()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Read the 9+detail hello reply; returns (status, detail).
+fn read_hello_reply(s: &mut TcpStream) -> (u8, String) {
+    let mut fixed = [0u8; 7];
+    s.read_exact(&mut fixed).expect("hello reply");
+    assert_eq!(&fixed[..4], &MAGIC, "reply magic");
+    let status = fixed[6];
+    let mut len = [0u8; 2];
+    s.read_exact(&mut len).expect("detail len");
+    let mut detail = vec![0u8; u16::from_le_bytes(len) as usize];
+    s.read_exact(&mut detail).expect("detail");
+    (status, String::from_utf8_lossy(&detail).to_string())
+}
+
+/// Read one server frame: (type byte, payload).
+fn read_frame(s: &mut TcpStream) -> (u8, Vec<u8>) {
+    let mut header = [0u8; 5];
+    s.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).expect("frame payload");
+    (header[0], payload)
+}
+
+fn records_frame(n: usize) -> Vec<u8> {
+    use trace_synth::{encode_record, Instr, InstrKind};
+    let mut payload = Vec::new();
+    for i in 0..n {
+        encode_record(
+            Instr {
+                pc: 0x40_0000 + i as u64 * 4,
+                kind: InstrKind::Load { addr: 0x1000_0000 + i as u64 * 64 },
+                src1: 0,
+                src2: 0,
+            },
+            &mut payload,
+        );
+    }
+    let mut frame = vec![FrameType::Records as u8];
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Wait for the server to settle at zero active sessions.
+fn wait_idle(handle: &ServerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.registry().sessions_active.load(Ordering::SeqCst) > 0 {
+        assert!(Instant::now() < deadline, "sessions_active never returned to zero: leaked slot");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(handle.registry().gauge_count(), 0, "leaked session gauge");
+}
+
+fn counter(handle: &ServerHandle, which: &str) -> u64 {
+    let page = handle.registry().render();
+    mnm_serve::metrics::scrape_value(&page, which).unwrap_or_else(|| panic!("no metric {which}"))
+}
+
+#[test]
+fn torn_frame_header_is_a_clean_error() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    {
+        let mut s = tcp_connect(&endpoint);
+        s.write_all(&encode_hello("baseline")).unwrap();
+        assert_eq!(read_hello_reply(&mut s).0, STATUS_OK);
+        // Three bytes of a five-byte frame header, then vanish.
+        s.write_all(&[1u8, 0xFF, 0x00]).unwrap();
+    }
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_failed_total"), 1);
+    assert_eq!(counter(&handle, "jsn_sessions_accepted_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn short_reads_are_reassembled() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let mut s = tcp_connect(&endpoint);
+    s.write_all(&encode_hello("TMNM_12x1")).unwrap();
+    assert_eq!(read_hello_reply(&mut s).0, STATUS_OK);
+
+    // Dribble a whole records frame one byte at a time.
+    let frame = records_frame(10);
+    for &b in &frame {
+        s.write_all(&[b]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (t, payload) = read_frame(&mut s);
+    assert_eq!(
+        t,
+        FrameType::Summary as u8,
+        "dribbled frame still replays: {:?}",
+        String::from_utf8_lossy(&payload)
+    );
+    let accesses = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    assert_eq!(accesses, 10);
+
+    // Clean finish.
+    s.write_all(&[FrameType::Finish as u8, 0, 0, 0, 0]).unwrap();
+    let (t, _) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Stats as u8);
+    drop(s);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_completed_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversize_frame_header_is_rejected_without_allocation() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let mut s = tcp_connect(&endpoint);
+    s.write_all(&encode_hello("baseline")).unwrap();
+    assert_eq!(read_hello_reply(&mut s).0, STATUS_OK);
+    // Declare a 2 GiB payload.
+    s.write_all(&[FrameType::Records as u8]).unwrap();
+    s.write_all(&0x8000_0000u32.to_le_bytes()).unwrap();
+    let (t, payload) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Error as u8);
+    let msg = String::from_utf8_lossy(&payload).to_string();
+    assert!(msg.contains("exceeds"), "error names the bound: {msg}");
+    drop(s);
+    wait_idle(&handle);
+    assert!(counter(&handle, "jsn_protocol_errors_total") >= 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn version_mismatch_hello_is_rejected() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let mut s = tcp_connect(&endpoint);
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&MAGIC);
+    hello.extend_from_slice(&99u16.to_le_bytes());
+    hello.extend_from_slice(&0u16.to_le_bytes());
+    s.write_all(&hello).unwrap();
+    let (status, detail) = read_hello_reply(&mut s);
+    assert_eq!(status, STATUS_REJECTED);
+    assert!(detail.contains("version 99") && detail.contains(&VERSION.to_string()), "{detail}");
+    drop(s);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_rejected_total"), 1);
+    assert_eq!(counter(&handle, "jsn_sessions_accepted_total"), 0);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn unknown_preset_is_rejected_with_help() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let mut s = tcp_connect(&endpoint);
+    s.write_all(&encode_hello("MNMX_99")).unwrap();
+    let (status, detail) = read_hello_reply(&mut s);
+    assert_eq!(status, STATUS_REJECTED);
+    assert!(detail.contains("MNMX_99"), "{detail}");
+    drop(s);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_rejected_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_session_disconnect_releases_the_slot() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    {
+        let mut s = tcp_connect(&endpoint);
+        s.write_all(&encode_hello("HMNM4")).unwrap();
+        assert_eq!(read_hello_reply(&mut s).0, STATUS_OK);
+        s.write_all(&records_frame(100)).unwrap();
+        let (t, _) = read_frame(&mut s);
+        assert_eq!(t, FrameType::Summary as u8);
+        // Drop without Finish.
+    }
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_failed_total"), 1);
+    assert_eq!(counter(&handle, "jsn_frames_in_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn session_cap_rejects_with_busy() {
+    let config = ServerConfig { max_sessions: 1, ..ServerConfig::default() };
+    let (handle, endpoint, join) = start_server(config);
+
+    let mut first = tcp_connect(&endpoint);
+    first.write_all(&encode_hello("baseline")).unwrap();
+    assert_eq!(read_hello_reply(&mut first).0, STATUS_OK);
+
+    let mut second = tcp_connect(&endpoint);
+    second.write_all(&encode_hello("baseline")).unwrap();
+    let (status, detail) = read_hello_reply(&mut second);
+    assert_eq!(status, STATUS_BUSY);
+    assert!(detail.contains("1-session cap"), "{detail}");
+
+    // The first session still works and finishes cleanly.
+    first.write_all(&records_frame(5)).unwrap();
+    let (t, _) = read_frame(&mut first);
+    assert_eq!(t, FrameType::Summary as u8);
+    first.write_all(&[FrameType::Finish as u8, 0, 0, 0, 0]).unwrap();
+    let (t, _) = read_frame(&mut first);
+    assert_eq!(t, FrameType::Stats as u8);
+    drop(first);
+    drop(second);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_rejected_total"), 1);
+    assert_eq!(counter(&handle, "jsn_sessions_completed_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_client_is_evicted() {
+    let config =
+        ServerConfig { stall_timeout: Duration::from_millis(250), ..ServerConfig::default() };
+    let (handle, endpoint, join) = start_server(config);
+    let mut s = tcp_connect(&endpoint);
+    s.write_all(&encode_hello("baseline")).unwrap();
+    assert_eq!(read_hello_reply(&mut s).0, STATUS_OK);
+    // Say nothing. The server must hang up on its own.
+    let (t, payload) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Error as u8);
+    assert!(String::from_utf8_lossy(&payload).contains("stalled"));
+    drop(s);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_evicted_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn http_scrape_serves_metrics_and_404s_elsewhere() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let page = scrape_metrics(&endpoint).expect("scrape");
+    assert!(page.contains("jsn_sessions_accepted_total 0"));
+    assert!(page.contains("jsn_request_latency_us_p99"));
+
+    let mut s = tcp_connect(&endpoint);
+    s.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+    drop(s);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_scrapes_total"), 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// The acceptance run: ≥ 32 concurrent sessions, zero dropped frames,
+/// scraped verdict histogram bit-identical to the offline replay.
+#[test]
+fn slam_32_sessions_verdicts_bit_identical_to_offline() {
+    let (handle, endpoint, join) = start_server(ServerConfig::default());
+    let opts = SlamOptions {
+        endpoint: endpoint.clone(),
+        sessions: 32,
+        records: 4_000,
+        frame_records: 512,
+        config: "HMNM4".to_string(),
+        seed: 7,
+        window: 4,
+        verify: true,
+    };
+    let report = run_slam(&opts).expect("slam");
+    assert_eq!(report.sessions_failed, 0, "failures: {:?}", report.failures);
+    assert_eq!(report.sessions_ok, 32);
+    assert_eq!(report.dropped_frames(), 0, "dropped frames");
+    assert_eq!(report.records_sent, 32 * 4_000);
+    let verify = report.verify.as_ref().expect("verify ran");
+    assert!(verify.compared > 0);
+    assert!(verify.mismatches.is_empty(), "verdict mismatch: {:?}", verify.mismatches);
+    wait_idle(&handle);
+    assert_eq!(counter(&handle, "jsn_sessions_completed_total"), 32);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Unix-socket transport end to end, plus the shutdown snapshot flushed
+/// through the atomic fsio writer.
+#[test]
+fn unix_socket_slam_and_shutdown_snapshot() {
+    let dir = std::env::temp_dir().join(format!("jsn-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("jsn.sock");
+    let snapshot = dir.join("metrics-final.txt");
+
+    let config = ServerConfig { snapshot_path: Some(snapshot.clone()), ..ServerConfig::default() };
+    let server = Server::bind(Endpoint::Unix(sock.clone()), config).expect("bind unix");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let opts = SlamOptions {
+        endpoint: Endpoint::Unix(sock.clone()),
+        sessions: 8,
+        records: 2_000,
+        frame_records: 256,
+        config: "TMNM_12x1".to_string(),
+        seed: 11,
+        window: 2,
+        verify: true,
+    };
+    let report = run_slam(&opts).expect("slam over unix socket");
+    assert_eq!(report.sessions_failed, 0, "failures: {:?}", report.failures);
+    assert_eq!(report.dropped_frames(), 0);
+    let verify = report.verify.as_ref().expect("verify ran");
+    assert!(verify.mismatches.is_empty(), "verdict mismatch: {:?}", verify.mismatches);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let page = std::fs::read_to_string(&snapshot).expect("snapshot flushed");
+    assert!(page.contains("jsn_sessions_accepted_total 8"), "snapshot has final counters");
+    assert!(!sock.exists(), "socket file cleaned up");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,53 @@ const TAG_LOAD: u8 = 1;
 const TAG_STORE: u8 = 2;
 const TAG_BRANCH: u8 = 3;
 
+/// Size of one encoded instruction record in bytes. The same fixed-width
+/// little-endian encoding is used by trace files (behind the `JSNT`
+/// header) and by the `jsn serve` wire protocol's RECORDS frames.
+pub const RECORD_BYTES: usize = 8 + 1 + 1 + 1 + 1 + 8;
+
+/// Append the [`RECORD_BYTES`]-byte encoding of `instr` to `out`.
+pub fn encode_record(instr: Instr, out: &mut Vec<u8>) {
+    out.extend_from_slice(&instr.pc.to_le_bytes());
+    out.push(instr.src1);
+    out.push(instr.src2);
+    let (tag, aux, addr) = match instr.kind {
+        InstrKind::Op { latency } => (TAG_OP, latency, 0),
+        InstrKind::Load { addr } => (TAG_LOAD, 0, addr),
+        InstrKind::Store { addr } => (TAG_STORE, 0, addr),
+        InstrKind::Branch { mispredicted } => (TAG_BRANCH, u8::from(mispredicted), 0),
+    };
+    out.push(tag);
+    out.push(aux);
+    out.extend_from_slice(&addr.to_le_bytes());
+}
+
+/// Decode one [`RECORD_BYTES`]-byte record produced by [`encode_record`].
+///
+/// # Errors
+///
+/// [`TraceIoError::Truncated`] when `rec` is not exactly [`RECORD_BYTES`]
+/// long; [`TraceIoError::BadRecord`] on an unknown kind tag.
+pub fn decode_record(rec: &[u8]) -> Result<Instr, TraceIoError> {
+    if rec.len() != RECORD_BYTES {
+        return Err(TraceIoError::Truncated);
+    }
+    let pc = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+    let src1 = rec[8];
+    let src2 = rec[9];
+    let tag = rec[10];
+    let aux = rec[11];
+    let addr = u64::from_le_bytes(rec[12..20].try_into().unwrap());
+    let kind = match tag {
+        TAG_OP => InstrKind::Op { latency: aux },
+        TAG_LOAD => InstrKind::Load { addr },
+        TAG_STORE => InstrKind::Store { addr },
+        TAG_BRANCH => InstrKind::Branch { mispredicted: aux != 0 },
+        other => return Err(TraceIoError::BadRecord(other)),
+    };
+    Ok(Instr { pc, kind, src1, src2 })
+}
+
 /// Errors produced when reading a persisted trace.
 #[derive(Debug)]
 pub enum TraceIoError {
@@ -71,18 +118,7 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = Instr>>(
     buf.extend_from_slice(&VERSION.to_le_bytes());
     let mut count = 0u64;
     for i in instrs {
-        buf.extend_from_slice(&i.pc.to_le_bytes());
-        buf.push(i.src1);
-        buf.push(i.src2);
-        let (tag, aux, addr) = match i.kind {
-            InstrKind::Op { latency } => (TAG_OP, latency, 0),
-            InstrKind::Load { addr } => (TAG_LOAD, 0, addr),
-            InstrKind::Store { addr } => (TAG_STORE, 0, addr),
-            InstrKind::Branch { mispredicted } => (TAG_BRANCH, u8::from(mispredicted), 0),
-        };
-        buf.push(tag);
-        buf.push(aux);
-        buf.extend_from_slice(&addr.to_le_bytes());
+        encode_record(i, &mut buf);
         count += 1;
         if buf.len() >= 60 * 1024 {
             writer.write_all(&buf)?;
@@ -111,26 +147,12 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<Instr>, TraceIoError> {
     }
     let payload = &raw[6..];
 
-    const RECORD: usize = 8 + 1 + 1 + 1 + 1 + 8;
-    if payload.len() % RECORD != 0 {
+    if payload.len() % RECORD_BYTES != 0 {
         return Err(TraceIoError::Truncated);
     }
-    let mut out = Vec::with_capacity(payload.len() / RECORD);
-    for rec in payload.chunks_exact(RECORD) {
-        let pc = u64::from_le_bytes(rec[0..8].try_into().unwrap());
-        let src1 = rec[8];
-        let src2 = rec[9];
-        let tag = rec[10];
-        let aux = rec[11];
-        let addr = u64::from_le_bytes(rec[12..20].try_into().unwrap());
-        let kind = match tag {
-            TAG_OP => InstrKind::Op { latency: aux },
-            TAG_LOAD => InstrKind::Load { addr },
-            TAG_STORE => InstrKind::Store { addr },
-            TAG_BRANCH => InstrKind::Branch { mispredicted: aux != 0 },
-            other => return Err(TraceIoError::BadRecord(other)),
-        };
-        out.push(Instr { pc, kind, src1, src2 });
+    let mut out = Vec::with_capacity(payload.len() / RECORD_BYTES);
+    for rec in payload.chunks_exact(RECORD_BYTES) {
+        out.push(decode_record(rec)?);
     }
     Ok(out)
 }
@@ -183,6 +205,33 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&mut bytes, std::iter::empty()).unwrap();
         assert!(read_trace(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_record_round_trips_all_kinds() {
+        let instrs = [
+            Instr { pc: 0x4000_0000, kind: InstrKind::Op { latency: 12 }, src1: 3, src2: 0 },
+            Instr {
+                pc: 0x4000_0004,
+                kind: InstrKind::Load { addr: 0xdead_beef },
+                src1: 0,
+                src2: 1,
+            },
+            Instr { pc: 0x4000_0008, kind: InstrKind::Store { addr: u64::MAX }, src1: 2, src2: 2 },
+            Instr {
+                pc: 0x4000_000c,
+                kind: InstrKind::Branch { mispredicted: true },
+                src1: 0,
+                src2: 0,
+            },
+        ];
+        for i in instrs {
+            let mut bytes = Vec::new();
+            encode_record(i, &mut bytes);
+            assert_eq!(bytes.len(), RECORD_BYTES);
+            assert_eq!(decode_record(&bytes).unwrap(), i);
+        }
+        assert!(matches!(decode_record(&[0u8; 7]).unwrap_err(), TraceIoError::Truncated));
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod stats;
 
 pub mod profiles;
 
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{decode_record, encode_record, read_trace, write_trace, TraceIoError, RECORD_BYTES};
 pub use program::{AppCategory, AppProfile, PhaseDrift, Program, RegionSpec};
 pub use record::{Instr, InstrKind};
 pub use regions::{Region, RegionKind};

@@ -11,6 +11,10 @@
 //! jsn diff <a.json> <b.json> [--tol X]       compare two results artifacts
 //! jsn check [--seeds N] [--filter F] [--gen G] [--seed S] [--len N]
 //!                                            differential soundness checker
+//! jsn serve [--listen EP] [--max-sessions N] [--snapshot FILE] ...
+//!                                            trace-stream replay service
+//! jsn slam [--connect EP] [--sessions N] [--verify] ...
+//!                                            load-generate against a server
 //! jsn help                                   this text
 //! ```
 //!
@@ -37,6 +41,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("diff") => return cmd_diff(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("slam") => return cmd_slam(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -78,7 +84,23 @@ fn print_help() {
          shrunk to a minimal reproducer and printed with its replay line.\n\
          `--filter`/`--gen`/`--seed` restrict the sweep to replay one\n\
          scenario. Under a JSN_FAULT flip plan, check corrupts filter state\n\
-         mid-trace and must report the lie as an UnsoundFlag violation."
+         mid-trace and must report the lie as an UnsoundFlag violation.\n\
+         \n\
+         serve runs a long-lived trace-stream replay service:\n  \
+         jsn serve [--listen EP] [--max-sessions N] [--queue FRAMES]\n            \
+         [--max-frame BYTES] [--stall-ms MS] [--drain-ms MS]\n            \
+         [--snapshot FILE]\n\
+         EP is <host>:<port> or unix:<path> (default 127.0.0.1:7227).\n\
+         Each connection gets its own hierarchy + filter preset; scrape\n\
+         GET /metrics on the same endpoint for live counters. SIGTERM or\n\
+         ctrl-c drains sessions and flushes a final metrics snapshot.\n\
+         \n\
+         slam load-generates against a running server:\n  \
+         jsn slam [--connect EP] [--sessions N] [--records N] [--frame N]\n           \
+         [--config LABEL] [--seed S] [--window N] [--verify]\n\
+         --verify scrapes /metrics afterwards and requires the verdict\n\
+         histogram to be bit-identical to an offline replay of the same\n\
+         seeds (exit 1 otherwise)."
     );
 }
 
@@ -455,6 +477,123 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
         println!("{:<14}{:>9.1}%", label, mnm.stats().coverage() * 100.0);
     }
     Ok(())
+}
+
+/// `jsn serve`: bind the replay service and block until SIGTERM/ctrl-c.
+/// Flags are parsed strictly — an unknown or malformed option is a
+/// startup error, never a silently-ignored one, and so is a malformed
+/// JSN_FAULT environment value.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use just_say_no::mnm_serve::server::{Endpoint, Server, ServerConfig};
+    use just_say_no::mnm_serve::signal;
+
+    // Validate the fault-injection env up front: a bad plan must stop
+    // the daemon at startup, not lurk until the first injected fault.
+    if let Some(plan) = just_say_no::mnm_experiments::faults::FaultPlan::from_env()? {
+        eprintln!("fault injection armed: {}", plan.summary());
+        just_say_no::mnm_experiments::faults::install(Some(plan));
+    }
+
+    let mut endpoint = Endpoint::Tcp("127.0.0.1:7227".to_string());
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => endpoint = Endpoint::parse(value("--listen")?)?,
+            "--max-sessions" => {
+                config.max_sessions = parse_flag_num(value("--max-sessions")?, "--max-sessions")?;
+                if config.max_sessions == 0 {
+                    return Err("--max-sessions must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                config.queue_frames = parse_flag_num(value("--queue")?, "--queue")?;
+                if config.queue_frames == 0 {
+                    return Err("--queue must be at least 1 frame".to_string());
+                }
+            }
+            "--max-frame" => {
+                config.max_frame_bytes =
+                    parse_flag_num::<u32>(value("--max-frame")?, "--max-frame")?;
+            }
+            "--stall-ms" => {
+                config.stall_timeout = std::time::Duration::from_millis(parse_flag_num(
+                    value("--stall-ms")?,
+                    "--stall-ms",
+                )?);
+            }
+            "--drain-ms" => {
+                config.drain = std::time::Duration::from_millis(parse_flag_num(
+                    value("--drain-ms")?,
+                    "--drain-ms",
+                )?);
+            }
+            "--snapshot" => {
+                config.snapshot_path = Some(std::path::PathBuf::from(value("--snapshot")?))
+            }
+            other => return Err(format!("unknown serve option `{other}` (try `jsn help`)")),
+        }
+    }
+
+    signal::install();
+    let server = Server::bind(endpoint.clone(), config)
+        .map_err(|e| format!("cannot bind {endpoint}: {e}"))?;
+    eprintln!(
+        "jsn serve: listening on {} (scrape GET /metrics; SIGTERM drains)",
+        server.local_endpoint()
+    );
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+/// `jsn slam`: load-generate against a running server. Exit 0 only when
+/// every session completed, no frame went unacknowledged, and (with
+/// --verify) the served verdict histogram matches the offline replay.
+fn cmd_slam(args: &[String]) -> ExitCode {
+    match run_slam_cli(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_slam_cli(args: &[String]) -> Result<ExitCode, String> {
+    use just_say_no::mnm_serve::server::Endpoint;
+    use just_say_no::mnm_serve::slam::{format_report, run_slam, SlamOptions};
+
+    let mut opts = SlamOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--connect" => opts.endpoint = Endpoint::parse(value("--connect")?)?,
+            "--sessions" => opts.sessions = parse_flag_num(value("--sessions")?, "--sessions")?,
+            "--records" => opts.records = parse_flag_num(value("--records")?, "--records")?,
+            "--frame" => opts.frame_records = parse_flag_num(value("--frame")?, "--frame")?,
+            "--config" => opts.config = value("--config")?.clone(),
+            "--seed" => opts.seed = parse_seed(value("--seed")?)?,
+            "--window" => opts.window = parse_flag_num(value("--window")?, "--window")?,
+            "--verify" => opts.verify = true,
+            other => return Err(format!("unknown slam option `{other}` (try `jsn help`)")),
+        }
+    }
+
+    let report = run_slam(&opts)?;
+    print!("{}", format_report(&report));
+    let verify_failed = report.verify.as_ref().is_some_and(|v| !v.mismatches.is_empty());
+    let ok = report.sessions_failed == 0 && report.dropped_frames() == 0 && !verify_failed;
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Strict numeric flag parsing: the whole value must parse.
+fn parse_flag_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.replace('_', "").parse().map_err(|_| format!("{flag} {text}: expected an integer"))
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {

@@ -14,6 +14,7 @@
 //! * [`power_model`] — the CACTI-style energy model.
 //! * [`mnm_experiments`] — harness regenerating every table and figure.
 //! * [`mnm_check`] — differential soundness checker (`jsn check`).
+//! * [`mnm_serve`] — trace-stream replay service (`jsn serve` / `jsn slam`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use cache_sim;
 pub use mnm_check;
 pub use mnm_core;
 pub use mnm_experiments;
+pub use mnm_serve;
 pub use ooo_model;
 pub use power_model;
 pub use trace_synth;
