@@ -1,0 +1,134 @@
+//! Multi-core scaling harness for the sharded simulation: sweeps core
+//! counts, running each configuration once single-threaded and once on
+//! `std::thread` workers over identical streams, and reports throughput
+//! plus parallel speedup. Emits `BENCH_shard_scaling.json`.
+//!
+//! Unlike `replay_throughput` this harness carries no committed floors —
+//! parallel speedup depends on the host's core count and load — but it
+//! *does* fail hard on correctness: the parallel and single-threaded
+//! reports must be bit-identical at every core count (the workspace's
+//! race-freedom proof), and no run may produce an unsound verdict.
+
+use std::time::Instant;
+
+use mnm_core::MnmConfig;
+use mnm_experiments::json::Json;
+use mnm_shard::{sharded_streams, ShardConfig, ShardedSim};
+use trace_synth::{profiles, SharingSpec};
+
+const PROFILE: &str = "181.mcf";
+const FILTER: &str = "HMNM4";
+const SHARING: f64 = 0.25;
+const EPOCH: usize = 2048;
+
+fn accesses_per_core() -> usize {
+    std::env::var("JSN_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn build_sim(cores: usize, n: usize) -> ShardedSim {
+    let profile = profiles::by_name(PROFILE).expect("profile");
+    let config = ShardConfig {
+        epoch: EPOCH,
+        ..ShardConfig::new(cores, MnmConfig::parse(FILTER).expect("filter label"))
+    };
+    let spec = SharingSpec {
+        sharing_ratio: SHARING,
+        line_bytes: config.l3.block_bytes,
+        seed: 42,
+        ..SharingSpec::new(cores)
+    };
+    let streams = sharded_streams(&profile, &spec, n, config.l1.block_bytes);
+    ShardedSim::new(config, streams)
+}
+
+struct Point {
+    cores: usize,
+    accesses: u64,
+    single_nanos: u64,
+    parallel_nanos: u64,
+}
+
+impl Point {
+    fn maccs(&self, nanos: u64) -> f64 {
+        self.accesses as f64 * 1e3 / nanos as f64
+    }
+    fn speedup(&self) -> f64 {
+        self.single_nanos as f64 / self.parallel_nanos as f64
+    }
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cores", Json::num(self.cores as f64)),
+            ("accesses", Json::num(self.accesses as f64)),
+            ("single_nanos", Json::num(self.single_nanos as f64)),
+            ("parallel_nanos", Json::num(self.parallel_nanos as f64)),
+            (
+                "single_maccs_per_sec",
+                Json::num((self.maccs(self.single_nanos) * 100.0).round() / 100.0),
+            ),
+            (
+                "parallel_maccs_per_sec",
+                Json::num((self.maccs(self.parallel_nanos) * 100.0).round() / 100.0),
+            ),
+            ("speedup", Json::num((self.speedup() * 100.0).round() / 100.0)),
+        ])
+    }
+}
+
+fn main() {
+    let n = accesses_per_core();
+    let host = host_cores();
+    let sweep: Vec<usize> =
+        [1usize, 2, 4, 8, 16].into_iter().filter(|&c| c == 1 || c <= host).collect();
+    println!(
+        "shard scaling: {PROFILE} / {FILTER}, sharing {SHARING}, epoch {EPOCH}, \
+         {n} accesses/core, host has {host} cores"
+    );
+
+    let mut points = Vec::new();
+    for &cores in &sweep {
+        let mut single_sim = build_sim(cores, n);
+        let t0 = Instant::now();
+        let single = single_sim.run_single_threaded();
+        let single_nanos = t0.elapsed().as_nanos() as u64;
+
+        let mut par_sim = build_sim(cores, n);
+        let t1 = Instant::now();
+        let parallel = par_sim.run();
+        let parallel_nanos = t1.elapsed().as_nanos() as u64;
+
+        assert_eq!(
+            single, parallel,
+            "parallel and single-threaded reports diverged at {cores} cores"
+        );
+        assert_eq!(parallel.total_unsound(), 0, "unsound verdicts at {cores} cores");
+
+        let point =
+            Point { cores, accesses: parallel.total_accesses(), single_nanos, parallel_nanos };
+        println!(
+            "  {:>2} cores: single {:>7.2} Maccs/s, parallel {:>7.2} Maccs/s, speedup {:.2}x",
+            cores,
+            point.maccs(point.single_nanos),
+            point.maccs(point.parallel_nanos),
+            point.speedup(),
+        );
+        points.push(point);
+    }
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::str("shard_scaling")),
+        ("profile", Json::str(PROFILE)),
+        ("filter", Json::str(FILTER)),
+        ("host_cores", Json::num(host as f64)),
+        ("points", Json::Arr(points.iter().map(Point::to_json).collect())),
+    ])
+    .render_pretty();
+    std::fs::write("BENCH_shard_scaling.json", &doc).expect("write BENCH_shard_scaling.json");
+    println!(
+        "wrote BENCH_shard_scaling.json ({} configurations, all reports identical)",
+        points.len()
+    );
+}

@@ -225,22 +225,26 @@ impl Cache {
         (0..self.assoc).any(|w| self.tags[base + w] == tag && self.dirty[base + w])
     }
 
-    /// Remove the block containing `addr` if resident. Returns whether a
-    /// block was removed. Used by the inclusive-hierarchy ablation mode.
-    pub(crate) fn invalidate(&mut self, addr: u64) -> bool {
+    /// Remove the block containing `addr` if resident. Returns the removed
+    /// block (base address plus whether it was dirty and thus owes a
+    /// writeback) or `None` if the address was not resident. Used by the
+    /// inclusive-hierarchy back-invalidation path and by external coherence
+    /// traffic ([`Hierarchy::invalidate_block`](crate::Hierarchy::invalidate_block)).
+    pub(crate) fn invalidate(&mut self, addr: u64) -> Option<Eviction> {
         let block = self.block_addr(addr);
         let set = self.set_of(block);
         let tag = self.tag_of(block);
         let base = set * self.assoc;
         for way in 0..self.assoc {
             if self.tags[base + way] == tag {
+                let was_dirty = self.dirty[base + way];
                 self.tags[base + way] = TAG_INVALID;
                 self.stamps[base + way] = 0;
                 self.dirty[base + way] = false;
-                return true;
+                return Some(Eviction { block_base: block << self.block_shift, dirty: was_dirty });
             }
         }
-        false
+        None
     }
 
     /// Drop every block (cache flush). Replacement state is reset too.
@@ -346,9 +350,20 @@ mod tests {
     fn invalidate_removes_block() {
         let mut c = small_cache(2, ReplacementPolicy::Lru);
         c.fill(0x1000);
-        assert!(c.invalidate(0x1000));
+        assert_eq!(c.invalidate(0x1008), Some(Eviction { block_base: 0x1000, dirty: false }));
         assert!(!c.contains(0x1000));
-        assert!(!c.invalidate(0x1000));
+        assert_eq!(c.invalidate(0x1000), None);
+    }
+
+    #[test]
+    fn invalidate_reports_dirty_state() {
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        c.fill(0x1000);
+        assert!(c.mark_dirty(0x1000));
+        assert_eq!(c.invalidate(0x1000), Some(Eviction { block_base: 0x1000, dirty: true }));
+        // The dirty bit must not leak into the way's next occupant.
+        c.fill(0x1000);
+        assert!(!c.is_dirty(0x1000));
     }
 
     #[test]

@@ -12,8 +12,25 @@ use crate::hierarchy::StructureId;
 pub enum EventKind {
     /// The block was installed into the structure.
     Placed,
-    /// The block was evicted from the structure.
+    /// The block was evicted from the structure by a fill (capacity or
+    /// conflict replacement chosen by the replacement policy).
     Replaced,
+    /// The block was removed from the structure by an invalidation:
+    /// an inclusive back-invalidation from an outer level, or external
+    /// coherence traffic (a remote core's store or a shared-level
+    /// replacement). Like `Replaced`, the block is guaranteed to have
+    /// actually been resident — invalidation events are only emitted for
+    /// blocks the cache really removed, which is what keeps count-based
+    /// filter updates sound.
+    Invalidated,
+}
+
+impl EventKind {
+    /// Whether this event removes a block from the structure
+    /// (`Replaced` or `Invalidated`).
+    pub fn removes(self) -> bool {
+        matches!(self, EventKind::Replaced | EventKind::Invalidated)
+    }
 }
 
 /// A block entering or leaving a cache structure.

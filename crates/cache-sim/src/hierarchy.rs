@@ -49,6 +49,9 @@ pub struct StructureInfo {
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     config: HierarchyConfig,
+    /// Level number of the first configured level (1 for a full system;
+    /// higher when this hierarchy models only the outer levels).
+    base_level: u8,
     caches: Vec<Cache>,
     infos: Vec<StructureInfo>,
     instr_path: Vec<StructureId>,
@@ -67,14 +70,33 @@ impl Hierarchy {
     ///
     /// Panics if the configuration fails [`HierarchyConfig::validate`].
     pub fn new(config: HierarchyConfig) -> Self {
+        Self::with_base_level(config, 1)
+    }
+
+    /// Build a hierarchy whose first configured level is numbered
+    /// `base_level` instead of 1.
+    ///
+    /// This lets a standalone hierarchy stand in for the *outer* portion
+    /// of a larger system — the sharded multi-core simulation models its
+    /// shared L3 as a single-level hierarchy with `base_level = 3`, so
+    /// probe records carry the true level and the bypass path treats the
+    /// structure as a guarded outer level (level-1 structures are never
+    /// bypassed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`HierarchyConfig::validate`] or
+    /// `base_level` is zero.
+    pub fn with_base_level(config: HierarchyConfig, base_level: u8) -> Self {
         config.validate().expect("invalid hierarchy configuration");
+        assert!(base_level >= 1, "cache levels are 1-based");
         let mut caches = Vec::new();
         let mut infos = Vec::new();
         let mut instr_path = Vec::new();
         let mut data_path = Vec::new();
 
         for (level_idx, level) in config.levels.iter().enumerate() {
-            let level_no = (level_idx + 1) as u8;
+            let level_no = base_level + level_idx as u8;
             match level {
                 LevelConfig::Split { instr, data } => {
                     let iid = StructureId(caches.len());
@@ -121,6 +143,7 @@ impl Hierarchy {
         let stats = HierarchyStats::new(caches.len(), config.levels.len());
         Hierarchy {
             config,
+            base_level,
             caches,
             infos,
             instr_path,
@@ -155,10 +178,10 @@ impl Hierarchy {
         self.config.levels.len()
     }
 
-    /// The pseudo-level representing main memory
-    /// (`num_levels() + 1`, 1-based).
+    /// The pseudo-level representing main memory: one past the last
+    /// configured cache level (`base_level + num_levels()`, 1-based).
     pub fn memory_level(&self) -> u8 {
-        (self.num_levels() + 1) as u8
+        self.base_level + self.num_levels() as u8
     }
 
     /// Ordered structure path for instruction or data references.
@@ -181,7 +204,7 @@ impl Hierarchy {
     /// structure `find` hits first would silently bind the MNM to the
     /// instruction-side block size.
     pub fn mnm_granularity(&self) -> u64 {
-        let level = if self.num_levels() >= 2 { 2 } else { 1 };
+        let level = if self.num_levels() >= 2 { self.base_level + 1 } else { self.base_level };
         self.infos
             .iter()
             .find(|i| i.level == level && !i.instr_only)
@@ -388,7 +411,7 @@ impl Hierarchy {
         }
         self.stats.total_latency += latency;
         self.stats.miss_latency += miss_latency;
-        self.stats.supplies_by_level[(supply_level - 1) as usize] += 1;
+        self.stats.supplies_by_level[(supply_level - self.base_level) as usize] += 1;
 
         AccessResult { supply_level, latency, misses, bypassed, probed_beyond_l1 }
     }
@@ -429,6 +452,12 @@ impl Hierarchy {
 
     /// Inclusive-mode ablation: evicting from an outer level invalidates
     /// the block in every structure at a strictly closer level.
+    ///
+    /// Each removal is reported as an [`EventKind::Invalidated`] event (so
+    /// attached filters can retire the block) and counted in the inner
+    /// structure's `invalidations` stat — not `evictions`, which is reserved
+    /// for replacement-policy victims. A dirty inner copy owes a writeback,
+    /// exactly as a dirty replacement victim would.
     fn back_invalidate(
         &mut self,
         from: StructureId,
@@ -446,16 +475,60 @@ impl Hierarchy {
             let count = (victim_bytes / inner_bytes).max(1);
             for i in 0..count {
                 let a = victim_base + i * inner_bytes;
-                if self.caches[idx].invalidate(a) {
-                    events.push(CacheEvent {
-                        structure: StructureId(idx),
-                        kind: EventKind::Replaced,
-                        block_base: a & !(inner_bytes - 1),
-                        block_bytes: inner_bytes,
-                    });
-                }
+                self.invalidate_in_structure(StructureId(idx), a, events);
             }
         }
+    }
+
+    /// Remove one inner block from one structure, with full accounting:
+    /// bumps `invalidations` (plus `writebacks` if the copy was dirty) and
+    /// emits an [`EventKind::Invalidated`] event. Emits nothing when the
+    /// block is not resident — filter updates must only see blocks that
+    /// were actually removed, or count-based filters go unsound.
+    fn invalidate_in_structure(
+        &mut self,
+        sid: StructureId,
+        addr: u64,
+        events: &mut Vec<CacheEvent>,
+    ) -> bool {
+        let Some(removed) = self.caches[sid.0].invalidate(addr) else {
+            return false;
+        };
+        let st = &mut self.stats.structures[sid.0];
+        st.invalidations += 1;
+        if removed.dirty {
+            // The invalidated copy was the only dirty one we model; it is
+            // written back toward the outer level / memory on removal.
+            st.writebacks += 1;
+        }
+        events.push(CacheEvent {
+            structure: sid,
+            kind: EventKind::Invalidated,
+            block_base: removed.block_base,
+            block_bytes: self.caches[sid.0].config().block_bytes,
+        });
+        true
+    }
+
+    /// External coherence entry point: remove the block containing `addr`
+    /// from **every** structure of this hierarchy (each at its own line
+    /// granularity), as a remote core's store or a shared outer level's
+    /// replacement would. Removals are appended to `events` as
+    /// [`EventKind::Invalidated`] — feed them to the attached MNM so its
+    /// filter state retires the block along with the cache. Returns the
+    /// number of structures that actually held (and lost) a copy.
+    ///
+    /// Events are emitted only for blocks actually removed; broadcasting an
+    /// invalidation for a block a cache never held must not reach the
+    /// filters (a blind decrement would be unsound).
+    pub fn invalidate_block(&mut self, addr: u64, events: &mut Vec<CacheEvent>) -> u32 {
+        let mut removed = 0;
+        for idx in 0..self.caches.len() {
+            if self.invalidate_in_structure(StructureId(idx), addr, events) {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Convenience wrapper around [`Hierarchy::access_with_events`] for
@@ -642,6 +715,78 @@ mod tests {
         // to set 0? 0x0000>>5=0 set0; 0x0040>>5=2 set0). Yes: set 0.
         h.access(Access::load(0x0040), &BypassSet::none());
         assert!(!h.contains(dl1, 0x0000), "inclusive eviction must back-invalidate L1");
+    }
+
+    fn tiny_inclusive() -> Hierarchy {
+        // dl1 is a single 2-way set (both test addresses fit), while the
+        // direct-mapped 2-set ul2 with 64B lines conflicts on them — so an
+        // ul2 eviction back-invalidates a block dl1 still holds, instead
+        // of dl1 having already evicted it on its own.
+        Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 2, 32, 1),
+                    data: CacheConfig::new("dl1", 64, 2, 32, 1),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 128, 1, 64, 2)),
+            ],
+            memory_latency: 10,
+            inclusive: true,
+        })
+    }
+
+    #[test]
+    fn back_invalidation_emits_invalidated_events_with_accounting() {
+        let mut h = tiny_inclusive();
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        let mut scratch = ReplayScratch::new();
+        h.access_with_events(Access::load(0x0000), &BypassSet::none(), &mut scratch);
+        // 0x0100 evicts line 0x0000 from ul2 (same set), back-invalidating
+        // dl1's copy; dl1 itself still has a free way.
+        h.access_with_events(Access::load(0x0100), &BypassSet::none(), &mut scratch);
+        let inv: Vec<_> = scratch
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Invalidated && e.structure == dl1)
+            .collect();
+        assert_eq!(inv.len(), 1, "dl1 copy of 0x0000 must surface as an Invalidated event");
+        assert_eq!(inv[0].block_base, 0x0000);
+        let st = &h.stats().structures[dl1.index()];
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(st.evictions, 0, "back-invalidations are not replacement victims");
+    }
+
+    #[test]
+    fn dirty_back_invalidation_owes_a_writeback() {
+        let mut h = tiny_inclusive();
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        h.access(Access::store(0x0000), &BypassSet::none());
+        assert!(h.cache(dl1).is_dirty(0x0000));
+        h.access(Access::load(0x0100), &BypassSet::none());
+        let st = &h.stats().structures[dl1.index()];
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(st.writebacks, 1, "dirty data lost to back-invalidation must write back");
+    }
+
+    #[test]
+    fn invalidate_block_removes_from_every_level() {
+        let mut h = tiny_two_level();
+        h.access(Access::load(0x1000), &BypassSet::none());
+        let dl1 = h.structures().iter().find(|s| s.name == "dl1").unwrap().id;
+        let ul2 = h.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        let mut events = Vec::new();
+        assert_eq!(h.invalidate_block(0x1008, &mut events), 2);
+        assert!(!h.contains(dl1, 0x1000));
+        assert!(!h.contains(ul2, 0x1000));
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.kind == EventKind::Invalidated));
+        assert_eq!(h.stats().structures[dl1.index()].invalidations, 1);
+        assert_eq!(h.stats().structures[ul2.index()].invalidations, 1);
+        // Re-invalidating emits nothing: filters must never be told about
+        // removals that did not happen.
+        events.clear();
+        assert_eq!(h.invalidate_block(0x1000, &mut events), 0);
+        assert!(events.is_empty());
     }
 
     #[test]

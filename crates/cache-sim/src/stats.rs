@@ -15,6 +15,11 @@ pub struct StructureStats {
     pub fills: u64,
     /// Blocks evicted to make room for fills.
     pub evictions: u64,
+    /// Blocks removed by invalidation rather than replacement: inclusive
+    /// back-invalidations from an outer level, or external coherence
+    /// traffic (remote stores, shared-level replacements). Disjoint from
+    /// `evictions`; `fills == evictions + invalidations + resident`.
+    pub invalidations: u64,
     /// Dirty evictions (write-back) or propagated stores (write-through):
     /// write transactions sent toward the next level.
     pub writebacks: u64,

@@ -67,10 +67,10 @@ fn cache_matches_reference_semantics() {
                         assert_eq!(ev.block_base, base);
                         resident.insert(ev.block_base);
                     }
-                    EventKind::Replaced => {
+                    EventKind::Replaced | EventKind::Invalidated => {
                         assert!(
                             resident.remove(&ev.block_base),
-                            "evicted a block that was not resident: {:#x}",
+                            "removed a block that was not resident: {:#x}",
                             ev.block_base
                         );
                     }

@@ -141,6 +141,7 @@ pub fn check_ops<F: CheckFilter>(
     let mut live: Vec<HashSet<u64>> = vec![HashSet::new(); num_structs];
     let mut ev_fills = vec![0u64; num_structs];
     let mut ev_evictions = vec![0u64; num_structs];
+    let mut ev_invalidations = vec![0u64; num_structs];
     let mut counters = CheckCounters::default();
 
     for (index, op) in ops.iter().enumerate() {
@@ -158,6 +159,7 @@ pub fn check_ops<F: CheckFilter>(
                 }
                 ev_fills.fill(0);
                 ev_evictions.fill(0);
+                ev_invalidations.fill(0);
                 counters.flushes += 1;
             }
             Op::Access(access) => {
@@ -227,15 +229,19 @@ pub fn check_ops<F: CheckFilter>(
                                 );
                             }
                         }
-                        EventKind::Replaced => {
-                            ev_evictions[idx] += 1;
+                        EventKind::Replaced | EventKind::Invalidated => {
+                            if ev.kind == EventKind::Replaced {
+                                ev_evictions[idx] += 1;
+                            } else {
+                                ev_invalidations[idx] += 1;
+                            }
                             if !live[idx].remove(&ev.block_base) {
                                 return (
                                     counters,
                                     fail(
                                         ViolationKind::Conservation,
                                         format!(
-                                            "{name}: block {:#x} replaced but never placed",
+                                            "{name}: block {:#x} removed but never placed",
                                             ev.block_base
                                         ),
                                     ),
@@ -266,7 +272,9 @@ pub fn check_ops<F: CheckFilter>(
 
                 if counters.accesses % FULL_AUDIT_PERIOD == 0 {
                     counters.audits += 1;
-                    if let Some(v) = audit(hierarchy, &refm, &live, &ev_fills, &ev_evictions) {
+                    if let Some(v) =
+                        audit(hierarchy, &refm, &live, &ev_fills, &ev_evictions, &ev_invalidations)
+                    {
                         return (counters, Some(Violation { index, ..v }));
                     }
                 }
@@ -276,7 +284,7 @@ pub fn check_ops<F: CheckFilter>(
 
     counters.audits += 1;
     let last = ops.len().saturating_sub(1);
-    let end_violation = audit(hierarchy, &refm, &live, &ev_fills, &ev_evictions)
+    let end_violation = audit(hierarchy, &refm, &live, &ev_fills, &ev_evictions, &ev_invalidations)
         .map(|v| Violation { index: last, ..v });
     (counters, end_violation)
 }
@@ -290,6 +298,7 @@ fn audit(
     live: &[HashSet<u64>],
     ev_fills: &[u64],
     ev_evictions: &[u64],
+    ev_invalidations: &[u64],
 ) -> Option<Violation> {
     let fail = |kind, detail| Some(Violation { index: 0, kind, detail });
     for info in hierarchy.structures() {
@@ -317,24 +326,34 @@ fn audit(
             }
         }
 
-        // Event-ledger identities: fills = evictions + live set, and the
-        // ledger agrees with the stats counters.
-        if ev_fills[idx] != st.fills || ev_evictions[idx] != st.evictions {
+        // Event-ledger identities: fills = evictions + invalidations +
+        // live set, and the ledger agrees with the stats counters.
+        if ev_fills[idx] != st.fills
+            || ev_evictions[idx] != st.evictions
+            || ev_invalidations[idx] != st.invalidations
+        {
             return fail(
                 ViolationKind::Conservation,
                 format!(
-                    "{name}: event stream saw {}/{} fills/evictions, stats say {}/{}",
-                    ev_fills[idx], ev_evictions[idx], st.fills, st.evictions
+                    "{name}: event stream saw {}/{}/{} fills/evictions/invalidations, \
+                     stats say {}/{}/{}",
+                    ev_fills[idx],
+                    ev_evictions[idx],
+                    ev_invalidations[idx],
+                    st.fills,
+                    st.evictions,
+                    st.invalidations
                 ),
             );
         }
-        if ev_fills[idx] != ev_evictions[idx] + live[idx].len() as u64 {
+        if ev_fills[idx] != ev_evictions[idx] + ev_invalidations[idx] + live[idx].len() as u64 {
             return fail(
                 ViolationKind::Conservation,
                 format!(
-                    "{name}: fills ({}) != evictions ({}) + live blocks ({})",
+                    "{name}: fills ({}) != evictions ({}) + invalidations ({}) + live blocks ({})",
                     ev_fills[idx],
                     ev_evictions[idx],
+                    ev_invalidations[idx],
                     live[idx].len()
                 ),
             );

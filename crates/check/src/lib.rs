@@ -31,11 +31,16 @@
 pub mod corrupt;
 pub mod generate;
 pub mod harness;
+pub mod multicore;
 pub mod reference;
 pub mod shrink;
 
 pub use generate::{render_ops, scenario_seed, splitmix64, Op, TraceGen};
 pub use harness::{check_ops, CheckCounters, CheckFilter, Violation, ViolationKind};
+pub use multicore::{
+    run_multicore_scenario, run_multicore_suite, MulticoreChecker, MulticoreReport,
+    MulticoreScenario, ShardWorkload, MULTICORE_FILTERS,
+};
 pub use reference::{RefCache, RefModel};
 pub use shrink::shrink_ops;
 

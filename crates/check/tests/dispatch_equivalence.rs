@@ -129,6 +129,14 @@ impl Shadow {
                             r.on_replace(si, block);
                         }
                     }
+                    EventKind::Invalidated => {
+                        for f in &mut self.filters[si] {
+                            f.on_invalidate(block);
+                        }
+                        if let Some(r) = &mut self.rmnm {
+                            r.on_invalidate(si, block);
+                        }
+                    }
                 }
             }
         }

@@ -57,6 +57,24 @@ pub trait MissFilter: std::fmt::Debug + Send {
     /// A block was evicted from the guarded structure.
     fn on_replace(&mut self, block: u64);
 
+    /// A block was removed from the guarded structure by an invalidation —
+    /// an inclusive back-invalidation from an outer level, or external
+    /// coherence traffic (a remote core's store, a shared level's
+    /// replacement) — rather than by the replacement policy.
+    ///
+    /// The caller guarantees the block was **actually resident and was
+    /// removed**; feeding invalidations for blocks the structure never
+    /// held breaks count-based filters (a blind decrement can zero a
+    /// counter that still guards a live block, turning "definite miss"
+    /// into a lie). Given that guarantee, retiring the block is exactly
+    /// what `on_replace` does, so that is the default. Families whose
+    /// replacement handling is asymmetric (e.g. the set-only SMNM, whose
+    /// `on_replace` is a deliberate no-op) inherit the same soundness
+    /// argument: the filter may only get more conservative.
+    fn on_invalidate(&mut self, block: u64) {
+        self.on_replace(block);
+    }
+
     /// `true` iff an access to `block` is guaranteed to miss.
     fn is_definite_miss(&self, block: u64) -> bool;
 

@@ -82,6 +82,21 @@ impl FilterKind {
         }
     }
 
+    /// Statically dispatched [`MissFilter::on_invalidate`] — the
+    /// `FilterInvalidate` path. Every family retires the block exactly as
+    /// it would a replacement victim (for the set-only SMNM that is a
+    /// deliberate no-op); soundness rests on the caller only reporting
+    /// blocks that were actually removed.
+    #[inline]
+    pub fn on_invalidate(&mut self, block: u64) {
+        match self {
+            FilterKind::Smnm(f) => MissFilter::on_invalidate(f, block),
+            FilterKind::Tmnm(f) => MissFilter::on_invalidate(f, block),
+            FilterKind::Cmnm(f) => MissFilter::on_invalidate(f, block),
+            FilterKind::Bloom(f) => MissFilter::on_invalidate(f, block),
+        }
+    }
+
     /// The wrapped filter as a [`MissFilter`] trait object (checker and
     /// fault-surface plumbing).
     pub fn as_miss_filter(&self) -> &dyn MissFilter {
@@ -111,6 +126,10 @@ impl MissFilter for FilterKind {
 
     fn on_replace(&mut self, block: u64) {
         FilterKind::on_replace(self, block);
+    }
+
+    fn on_invalidate(&mut self, block: u64) {
+        FilterKind::on_invalidate(self, block);
     }
 
     fn is_definite_miss(&self, block: u64) -> bool {
@@ -156,6 +175,14 @@ struct Slot {
     level: u8,
     name: String,
     filters: Vec<FilterKind>,
+    /// MNM blocks currently resident in the guarded structure, maintained
+    /// exactly from the event stream (placements add, replacements and
+    /// invalidations retire; the hierarchy only reports actual state
+    /// changes). Backs [`Mnm::occupancy`] with a block count independent
+    /// of how many member filters a hybrid stacks on the slot.
+    live_blocks: u64,
+    /// Capacity of the guarded structure in MNM blocks.
+    capacity_blocks: u64,
 }
 
 /// Storage cost of one MNM component, for the power model.
@@ -225,6 +252,8 @@ impl Mnm {
                 level: info.level,
                 name: info.name.clone(),
                 filters,
+                live_blocks: 0,
+                capacity_blocks: max_live as u64,
             });
         }
 
@@ -341,6 +370,7 @@ impl Mnm {
                             r.on_place(si, block);
                             self.stats.rmnm_updates += 1;
                         }
+                        self.slots[si].live_blocks += 1;
                     }
                     EventKind::Replaced => {
                         for f in &mut self.slots[si].filters {
@@ -350,6 +380,18 @@ impl Mnm {
                             r.on_replace(si, block);
                             self.stats.rmnm_updates += 1;
                         }
+                        self.slots[si].live_blocks = self.slots[si].live_blocks.saturating_sub(1);
+                    }
+                    EventKind::Invalidated => {
+                        for f in &mut self.slots[si].filters {
+                            f.on_invalidate(block);
+                        }
+                        if let Some(r) = &mut self.rmnm {
+                            r.on_invalidate(si, block);
+                            self.stats.rmnm_updates += 1;
+                        }
+                        self.slots[si].live_blocks = self.slots[si].live_blocks.saturating_sub(1);
+                        self.stats.slots[si].invalidations += 1;
                     }
                 }
                 self.stats.slots[si].updates += 1;
@@ -462,9 +504,34 @@ impl Mnm {
         self.storage().iter().map(|c| c.bits).sum()
     }
 
-    /// Aggregate dynamic-state occupancy across every component filter
-    /// (and the shared RMNM), for telemetry.
+    /// Machine-level occupancy: MNM blocks currently resident in the
+    /// guarded structures over their total block capacity, maintained
+    /// exactly from the event stream.
+    ///
+    /// This counts *blocks*, not filter state units, so hybrids that stack
+    /// several member filters on one slot report each resident block once.
+    /// (The previous implementation summed
+    /// [`MissFilter::occupancy`] across members, so an HMNM counted every
+    /// block once per member filter — roughly doubling the reported load.
+    /// Per-component state-unit occupancy is still available via
+    /// [`Mnm::component_occupancy`].)
     pub fn occupancy(&self) -> crate::filter::FilterOccupancy {
+        let mut occ = crate::filter::FilterOccupancy::default();
+        for slot in &self.slots {
+            occ.merge(crate::filter::FilterOccupancy {
+                tracked: slot.live_blocks,
+                capacity: slot.capacity_blocks,
+            });
+        }
+        occ
+    }
+
+    /// Aggregate *state-unit* occupancy summed across every component
+    /// filter (and the shared RMNM): armed counters / presence bits / valid
+    /// entries over total state units. A hardware load factor, not a block
+    /// count — blocks guarded by several member filters are counted once
+    /// per member. Use [`Mnm::occupancy`] for a block-exact view.
+    pub fn component_occupancy(&self) -> crate::filter::FilterOccupancy {
         let mut occ = crate::filter::FilterOccupancy::default();
         for slot in &self.slots {
             for f in &slot.filters {
@@ -533,6 +600,7 @@ impl Mnm {
             for f in &mut slot.filters {
                 f.flush();
             }
+            slot.live_blocks = 0;
         }
         if let Some(r) = &mut self.rmnm {
             r.flush();
@@ -625,6 +693,162 @@ mod tests {
             mnm.flush_system(&mut hier);
             assert_eq!(mnm.occupancy().tracked, 0, "{label}: flush left state armed");
         }
+    }
+
+    /// Resident MNM sub-blocks per guarded structure, straight from the
+    /// caches — the ground truth [`Mnm::occupancy`] must report.
+    fn resident_mnm_blocks(hier: &Hierarchy, mnm: &Mnm) -> u64 {
+        let gran = mnm.granularity().bytes();
+        mnm.slot_structures()
+            .iter()
+            .map(|&sid| {
+                let cache = hier.cache(sid);
+                let per_line = (cache.config().block_bytes / gran).max(1);
+                cache.occupancy() as u64 * per_line
+            })
+            .sum()
+    }
+
+    /// Satellite bugfix pin: `Mnm::occupancy` must count each resident
+    /// block once, for every family. The pre-fix implementation summed
+    /// per-component state-unit occupancies, so the hybrid (two member
+    /// filters per slot) reported roughly twice the real load, and
+    /// hash-shaped families (SMNM/TMNM/Bloom) under-reported whenever two
+    /// blocks collided into one counter.
+    #[test]
+    fn occupancy_counts_each_resident_block_once_per_family() {
+        for label in ["TMNM_12x1", "SMNM_13x2", "CMNM_8_12", "BLOOM_13x4", "RMNM_512_2", "HMNM4"] {
+            let mut hier = tiny_hierarchy();
+            let mut mnm = Mnm::new(&hier, MnmConfig::parse(label).unwrap());
+            let mut x: u64 = 0xdead_beef;
+            for _ in 0..4096 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                mnm.run_access(&mut hier, Access::load((x % 0x8000) & !0x3));
+            }
+            let occ = mnm.occupancy();
+            let resident = resident_mnm_blocks(&hier, &mnm);
+            assert_eq!(
+                occ.tracked, resident,
+                "{label}: occupancy must equal resident blocks (no double counting)"
+            );
+            assert!(occ.tracked <= occ.capacity, "{label}: load factor above 1");
+        }
+    }
+
+    /// Satellite bugfix regression: after external invalidations (the
+    /// coherence path), filter occupancy and verdicts must match a filter
+    /// rebuilt from scratch against the surviving cache contents. Uses
+    /// CMNM, whose live-set state is exact, so any cache/filter desync —
+    /// e.g. removing blocks from the caches without the FilterInvalidate
+    /// notification — shows up as a hard mismatch.
+    #[test]
+    fn invalidation_keeps_filters_synced_with_rebuilt_state() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("CMNM_8_12").unwrap());
+        let addrs: Vec<u64> = (0..64u64).map(|i| (i * 0x2b3 % 0x2000) & !0x1f).collect();
+        for &a in &addrs {
+            mnm.run_access(&mut hier, Access::load(a));
+        }
+        // Coherence traffic: invalidate every other touched block
+        // everywhere, feeding the events to the filters.
+        let mut events = Vec::new();
+        for &a in addrs.iter().step_by(2) {
+            hier.invalidate_block(a, &mut events);
+        }
+        mnm.observe_events(&events);
+
+        // Rebuild a fresh machine against the surviving residency.
+        let mut fresh = Mnm::new(&hier, MnmConfig::parse("CMNM_8_12").unwrap());
+        let mut rebuilt = Vec::new();
+        for info in hier.structures() {
+            if info.level < 2 {
+                continue;
+            }
+            for base in hier.cache(info.id).resident_blocks() {
+                rebuilt.push(CacheEvent {
+                    structure: info.id,
+                    kind: EventKind::Placed,
+                    block_base: base,
+                    block_bytes: info.block_bytes,
+                });
+            }
+        }
+        fresh.observe_events(&rebuilt);
+
+        assert_eq!(
+            mnm.occupancy().tracked,
+            fresh.occupancy().tracked,
+            "occupancy diverged from a rebuilt filter after invalidation"
+        );
+        for probe in (0..0x2400u64).step_by(32) {
+            assert_eq!(
+                mnm.query(Access::load(probe)),
+                fresh.query(Access::load(probe)),
+                "verdict for {probe:#x} diverged from a rebuilt filter"
+            );
+        }
+    }
+
+    /// The RMNM learns from invalidations exactly as from replacements:
+    /// an invalidated block is a definite miss until re-placed.
+    #[test]
+    fn rmnm_flags_invalidated_blocks() {
+        let mut hier = tiny_hierarchy();
+        let mut mnm = Mnm::new(&hier, MnmConfig::parse("RMNM_512_2").unwrap());
+        mnm.run_access(&mut hier, Access::load(0x1000));
+        assert!(mnm.query(Access::load(0x1000)).is_empty());
+        let mut events = Vec::new();
+        assert!(hier.invalidate_block(0x1000, &mut events) > 0);
+        mnm.observe_events(&events);
+        let bypass = mnm.query(Access::load(0x1000));
+        let ul2 = hier.structures().iter().find(|s| s.name == "ul2").unwrap().id;
+        let ul3 = hier.structures().iter().find(|s| s.name == "ul3").unwrap().id;
+        assert!(bypass.contains(ul2) && bypass.contains(ul3));
+        assert!(mnm.stats().slots.iter().map(|s| s.invalidations).sum::<u64>() > 0);
+        // And the verdict is sound: the access runs with those bypasses.
+        let r = mnm.run_access(&mut hier, Access::load(0x1000));
+        assert_eq!(r.bypassed, 2);
+    }
+
+    /// Single-core regression for the inclusive back-invalidation path:
+    /// filters must track back-invalidated blocks, so every verdict stays
+    /// sound and occupancy stays block-exact under an aliasing trace that
+    /// constantly back-invalidates L1/L2 copies.
+    #[test]
+    fn back_invalidation_keeps_filters_sound_and_exact() {
+        let mut hier = Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                LevelConfig::Split {
+                    instr: CacheConfig::new("il1", 64, 1, 32, 2),
+                    data: CacheConfig::new("dl1", 64, 1, 32, 2),
+                },
+                LevelConfig::Unified(CacheConfig::new("ul2", 256, 2, 32, 8)),
+                // Small direct-mapped L3 forces frequent back-invalidations.
+                LevelConfig::Unified(CacheConfig::new("ul3", 512, 1, 64, 18)),
+            ],
+            memory_latency: 100,
+            inclusive: true,
+        });
+        let mut mnm = Mnm::new(&hier, MnmConfig::hmnm(1));
+        let mut x: u64 = 0x5eed;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x % 0x4000) & !0x3;
+            let access = if i % 3 == 0 { Access::store(addr) } else { Access::load(addr) };
+            // run_access verifies each bypass against actual contents via
+            // the hierarchy's debug assertion.
+            mnm.run_access(&mut hier, access);
+        }
+        let st = hier.stats();
+        assert!(
+            st.structures.iter().map(|s| s.invalidations).sum::<u64>() > 0,
+            "trace never exercised back-invalidation"
+        );
+        assert_eq!(mnm.occupancy().tracked, resident_mnm_blocks(&hier, &mnm));
     }
 
     #[test]

@@ -133,6 +133,15 @@ impl Rmnm {
         self.stamps[victim] = self.clock;
     }
 
+    /// A block was removed from structure `slot` by an invalidation
+    /// (inclusive back-invalidation or external coherence traffic). The
+    /// block is just as gone as a replacement victim, so the same definite
+    /// miss is remembered; the caller guarantees the block was actually
+    /// removed.
+    pub fn on_invalidate(&mut self, slot: usize, block: u64) {
+        self.on_replace(slot, block);
+    }
+
     /// A block was placed into structure `slot`: the miss bit must be
     /// cleared (the block is resident again).
     pub fn on_place(&mut self, slot: usize, block: u64) {

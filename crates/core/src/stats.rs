@@ -12,8 +12,13 @@ pub struct SlotStats {
     pub bypassable_misses: u64,
     /// Of those, the ones the MNM identified.
     pub identified_misses: u64,
-    /// Filter state updates (placements + replacements observed).
+    /// Filter state updates (placements + replacements + invalidations
+    /// observed, after sub-block expansion).
     pub updates: u64,
+    /// Of the updates, blocks retired by invalidation (inclusive
+    /// back-invalidations or external coherence traffic) rather than by
+    /// the replacement policy.
+    pub invalidations: u64,
 }
 
 impl SlotStats {

@@ -1,0 +1,121 @@
+//! Per-core and aggregate results of a sharded run.
+
+use cache_sim::HierarchyStats;
+use mnm_core::MnmStats;
+
+/// Counters one core accumulates across the run. Everything here is
+/// deterministic: the parallel and single-threaded drivers must produce
+/// bit-identical reports (that identity is the race-freedom check CI
+/// runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreReport {
+    /// Accesses this core executed.
+    pub accesses: u64,
+    /// Total access latency in cycles (private probes plus the shared-L3
+    /// or memory latency of every request that left the private levels).
+    pub cycles: u64,
+    /// Requests that missed every private level and went to the shared L3.
+    pub l3_requests: u64,
+    /// L3 requests that probed and hit.
+    pub l3_hits: u64,
+    /// L3 requests that probed and missed (memory supplied).
+    pub l3_misses: u64,
+    /// L3 requests whose definite-miss verdict skipped the L3 probe —
+    /// the block was indeed absent.
+    pub l3_bypasses: u64,
+    /// Bypass verdicts that found the block resident because *this
+    /// barrier* placed it (after the verdict was issued against the
+    /// epoch-start L3 image). Sound: demoted to a normal probe.
+    pub stale_bypass_rescues: u64,
+    /// Bypass verdicts that found the block resident although it was
+    /// already resident at epoch start. These are genuine soundness
+    /// violations; a correct filter never produces one.
+    pub unsound_verdicts: u64,
+    /// Blocks removed from this core's private caches by coherence
+    /// (remote stores and shared-L3 replacements).
+    pub invalidations_received: u64,
+    /// Distinct L3 lines this core stored to (per-epoch deduplicated) —
+    /// each is broadcast as an invalidation to every other core.
+    pub store_lines_published: u64,
+    /// Private-hierarchy statistics (il1/dl1/ul2).
+    pub private: HierarchyStats,
+    /// This core's MNM statistics (private L2 slot + shared L3 slot).
+    pub mnm: MnmStats,
+}
+
+/// The full result of a sharded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardReport {
+    /// One report per core, in core order.
+    pub cores: Vec<CoreReport>,
+    /// Shared-L3 statistics (a single-structure hierarchy).
+    pub l3: HierarchyStats,
+    /// Number of epochs executed (including the final drain epoch).
+    pub epochs: u64,
+}
+
+impl ShardReport {
+    /// Total accesses across all cores.
+    pub fn total_accesses(&self) -> u64 {
+        self.cores.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Total unsound verdicts across all cores (must be zero for a sound
+    /// filter configuration).
+    pub fn total_unsound(&self) -> u64 {
+        self.cores.iter().map(|c| c.unsound_verdicts).sum()
+    }
+
+    /// Serialize as the `jsn-shard/v1` JSON document.
+    pub fn to_json(&self, config_label: &str, cores: usize, epoch: usize, sharing: f64) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"jsn-shard/v1\",\n");
+        s.push_str(&format!("  \"config\": \"{config_label}\",\n"));
+        s.push_str(&format!("  \"cores\": {cores},\n"));
+        s.push_str(&format!("  \"epoch\": {epoch},\n"));
+        s.push_str(&format!("  \"sharing_ratio\": {sharing},\n"));
+        s.push_str(&format!("  \"epochs_run\": {},\n", self.epochs));
+        s.push_str(&format!("  \"total_accesses\": {},\n", self.total_accesses()));
+        s.push_str(&format!("  \"unsound_verdicts\": {},\n", self.total_unsound()));
+        let l3s = &self.l3.structures[0];
+        s.push_str(&format!(
+            "  \"l3\": {{\"probes\": {}, \"hits\": {}, \"misses\": {}, \"bypasses\": {}, \
+             \"fills\": {}, \"evictions\": {}, \"invalidations\": {}, \"writebacks\": {}}},\n",
+            l3s.probes,
+            l3s.hits,
+            l3s.misses,
+            l3s.bypasses,
+            l3s.fills,
+            l3s.evictions,
+            l3s.invalidations,
+            l3s.writebacks,
+        ));
+        s.push_str("  \"per_core\": [\n");
+        for (i, c) in self.cores.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"core\": {i}, \"accesses\": {}, \"cycles\": {}, \"l3_requests\": {}, \
+                 \"l3_hits\": {}, \"l3_misses\": {}, \"l3_bypasses\": {}, \
+                 \"stale_bypass_rescues\": {}, \"unsound_verdicts\": {}, \
+                 \"invalidations_received\": {}, \"store_lines_published\": {}, \
+                 \"flagged_accesses\": {}, \"filter_coverage\": {:.6}}}{}\n",
+                c.accesses,
+                c.cycles,
+                c.l3_requests,
+                c.l3_hits,
+                c.l3_misses,
+                c.l3_bypasses,
+                c.stale_bypass_rescues,
+                c.unsound_verdicts,
+                c.invalidations_received,
+                c.store_lines_published,
+                c.mnm.accesses_with_flags,
+                c.mnm.coverage(),
+                if i + 1 == self.cores.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}

@@ -1,0 +1,471 @@
+//! The epoch-synchronized sharded simulator.
+//!
+//! ## Execution model
+//!
+//! Time is divided into **epochs** of `epoch` accesses per core. Within
+//! an epoch every core runs entirely on private state — its own L1/L2
+//! hierarchy and its own MNM — so the parallel driver needs no
+//! synchronization until the epoch ends. Accesses that miss every
+//! private level are queued as shared-L3 requests instead of being
+//! resolved immediately: the shared L3 is **frozen** from a core's point
+//! of view for the duration of an epoch.
+//!
+//! At the **barrier** the leader resolves all queued L3 requests
+//! serially in core-major program order (deterministic regardless of
+//! thread scheduling), then distributes three things into per-core
+//! inboxes:
+//!
+//! * **invalidations** — L3 replacement victims (to every core) and
+//!   lines stored by other cores (coherence), applied to private caches
+//!   *and* filters through the `Invalidated` event path;
+//! * the **global L3 event list** — every core applies the same list, so
+//!   per-core shared-L3 filter state is identical everywhere;
+//! * this core's **L3 probe records** for coverage accounting.
+//!
+//! Each core applies its inbox at the start of its next epoch, in
+//! parallel, before touching new accesses.
+//!
+//! ## Verdict soundness across the barrier
+//!
+//! A definite-miss verdict for the shared L3 is issued against the
+//! epoch-start L3 image. By resolution time the line may have been
+//! placed *by this barrier itself* (an earlier request of any core);
+//! such a verdict is demoted to a normal probe and counted as a
+//! [`stale bypass rescue`](crate::CoreReport::stale_bypass_rescues) —
+//! the verdict was sound when issued. A bypass verdict that finds a line
+//! which was already resident at epoch start is a genuine soundness
+//! violation and counted in
+//! [`unsound_verdicts`](crate::CoreReport::unsound_verdicts).
+
+use crate::config::ShardConfig;
+use crate::report::{CoreReport, ShardReport};
+use cache_sim::{
+    Access, AccessKind, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeRecord, ReplayScratch,
+    StructureId,
+};
+use mnm_core::Mnm;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// How one shared-L3 request was resolved at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L3Outcome {
+    /// Probed the L3 and hit.
+    Hit,
+    /// Probed the L3 and missed; memory supplied.
+    Miss,
+    /// Definite-miss verdict honored: probe skipped, block indeed absent.
+    Bypassed,
+    /// Definite-miss verdict found the block resident, but only because
+    /// this barrier placed it after the verdict was issued. Sound;
+    /// demoted to a probe.
+    Rescued,
+    /// Definite-miss verdict found a block that was resident at epoch
+    /// start: a genuine soundness violation.
+    Unsound,
+}
+
+/// Hooks for lockstep checking. Only the single-threaded driver
+/// ([`ShardedSim::run_single_threaded_observed`]) invokes an observer;
+/// the parallel driver is proven equivalent to it by report identity.
+pub trait ShardObserver {
+    /// A core issued a verdict for an access (before the access ran).
+    fn verdict(&mut self, _core: usize, _access: Access, _verdict: BypassSet) {}
+    /// A core drove an access through its private hierarchy; `events`
+    /// are the resulting private placements/replacements.
+    fn private_step(&mut self, _core: usize, _access: Access, _events: &[CacheEvent]) {}
+    /// A coherence invalidation removed `removed` blocks covering `line`
+    /// from a core's private caches; `events` are the `Invalidated`
+    /// events fed to that core's filters.
+    fn coherence_invalidation(
+        &mut self,
+        _core: usize,
+        _line: u64,
+        _removed: u32,
+        _events: &[CacheEvent],
+    ) {
+    }
+    /// The barrier resolved one of a core's shared-L3 requests.
+    fn l3_resolution(&mut self, _core: usize, _access: Access, _outcome: L3Outcome) {}
+    /// The barrier finished: the global shared-L3 event list every core
+    /// will apply at its next epoch start.
+    fn l3_events(&mut self, _events: &[CacheEvent]) {}
+}
+
+/// The no-op observer used by the parallel driver.
+struct NoopObserver;
+
+impl ShardObserver for NoopObserver {}
+
+/// An access that left the private levels during an epoch, waiting for
+/// barrier resolution against the shared L3.
+struct L3Request {
+    access: Access,
+    /// The epoch-start verdict claimed the shared L3 definitely misses.
+    bypass_l3: bool,
+}
+
+/// Everything one core owns.
+struct CoreState {
+    id: usize,
+    hier: Hierarchy,
+    mnm: Mnm,
+    stream: Vec<Access>,
+    pos: usize,
+    pending: Vec<L3Request>,
+    /// L3 lines stored to this epoch, deduplicated, in store order.
+    store_lines: Vec<u64>,
+    store_seen: HashSet<u64>,
+    inbox_invals: Vec<u64>,
+    inbox_events: Arc<Vec<CacheEvent>>,
+    inbox_probes: Vec<ProbeRecord>,
+    report: CoreReport,
+    scratch: ReplayScratch,
+    ev_buf: Vec<CacheEvent>,
+}
+
+/// State only the barrier leader touches.
+struct SharedState {
+    l3: Hierarchy,
+    /// L3 lines placed during the current barrier (stale-bypass rescue
+    /// detection).
+    placed: HashSet<u64>,
+    scratch: ReplayScratch,
+    epochs: u64,
+}
+
+/// Immutable per-run facts threaded through the drivers.
+#[derive(Clone, Copy)]
+struct Ctx {
+    l3_template_id: StructureId,
+    private_memory_level: u8,
+    l3_block_bytes: u64,
+    min_private_block: u64,
+    epoch: usize,
+}
+
+/// An N-core sharded simulation (see the module docs for the model).
+pub struct ShardedSim {
+    config: ShardConfig,
+    cores: Vec<Mutex<CoreState>>,
+    shared: Mutex<SharedState>,
+    ctx: Ctx,
+}
+
+impl ShardedSim {
+    /// Build the simulation over one pre-materialized access stream per
+    /// core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or `streams.len()` does not match
+    /// `config.cores`.
+    pub fn new(config: ShardConfig, streams: Vec<Vec<Access>>) -> Self {
+        config.validate();
+        assert_eq!(streams.len(), config.cores, "need exactly one access stream per core");
+        let template = Hierarchy::new(config.template_hierarchy());
+        let l3_template_id = template
+            .structures()
+            .iter()
+            .find(|s| s.level == 3)
+            .expect("template hierarchy has a level-3 structure")
+            .id;
+        let private_cfg = config.private_hierarchy();
+        let min_private_block = private_cfg
+            .levels
+            .iter()
+            .flat_map(|l| l.configs())
+            .map(|c| c.block_bytes)
+            .min()
+            .expect("private hierarchy has levels");
+        let cores = streams
+            .into_iter()
+            .enumerate()
+            .map(|(id, stream)| {
+                let hier = Hierarchy::new(private_cfg.clone());
+                let mnm = Mnm::new(&template, config.mnm.clone());
+                Mutex::new(CoreState {
+                    id,
+                    hier,
+                    mnm,
+                    stream,
+                    pos: 0,
+                    pending: Vec::new(),
+                    store_lines: Vec::new(),
+                    store_seen: HashSet::new(),
+                    inbox_invals: Vec::new(),
+                    inbox_events: Arc::new(Vec::new()),
+                    inbox_probes: Vec::new(),
+                    report: CoreReport::default(),
+                    scratch: ReplayScratch::new(),
+                    ev_buf: Vec::new(),
+                })
+            })
+            .collect();
+        // base_level 3: the standalone L3 hierarchy represents the outer
+        // level of the template system, so its structure is bypassable
+        // (level-1 structures never are) and probes carry the true level.
+        let shared = Mutex::new(SharedState {
+            l3: Hierarchy::with_base_level(config.l3_hierarchy(), 3),
+            placed: HashSet::new(),
+            scratch: ReplayScratch::new(),
+            epochs: 0,
+        });
+        let ctx = Ctx {
+            l3_template_id,
+            private_memory_level: Hierarchy::new(private_cfg).memory_level(),
+            l3_block_bytes: config.l3.block_bytes,
+            min_private_block,
+            epoch: config.epoch,
+        };
+        ShardedSim { config, cores, shared, ctx }
+    }
+
+    /// The configuration this simulation was built with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Run with one host thread per core. Produces a report
+    /// bit-identical to [`ShardedSim::run_single_threaded`].
+    pub fn run(&mut self) -> ShardReport {
+        let barrier = Barrier::new(self.config.cores);
+        let done = AtomicBool::new(false);
+        let ctx = self.ctx;
+        let cores = &self.cores;
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for t in 0..self.config.cores {
+                let barrier = &barrier;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut noop = NoopObserver;
+                    loop {
+                        {
+                            let mut core = cores[t].lock().unwrap();
+                            run_epoch(ctx, &mut core, &mut noop);
+                        }
+                        if barrier.wait().is_leader() {
+                            let mut sh = shared.lock().unwrap();
+                            let all_done = resolve_barrier(ctx, cores, &mut sh, &mut noop);
+                            done.store(all_done, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        self.build_report()
+    }
+
+    /// Run everything on the calling thread (the reference execution the
+    /// parallel driver must match).
+    pub fn run_single_threaded(&mut self) -> ShardReport {
+        self.run_single_threaded_observed(&mut NoopObserver)
+    }
+
+    /// Single-threaded run with lockstep checking hooks.
+    pub fn run_single_threaded_observed(&mut self, obs: &mut dyn ShardObserver) -> ShardReport {
+        let ctx = self.ctx;
+        loop {
+            for m in &self.cores {
+                let mut core = m.lock().unwrap();
+                run_epoch(ctx, &mut core, obs);
+            }
+            let mut sh = self.shared.lock().unwrap();
+            if resolve_barrier(ctx, &self.cores, &mut sh, obs) {
+                break;
+            }
+        }
+        self.build_report()
+    }
+
+    fn build_report(&self) -> ShardReport {
+        let cores = self
+            .cores
+            .iter()
+            .map(|m| {
+                let core = m.lock().unwrap();
+                let mut r = core.report.clone();
+                r.private = core.hier.stats().clone();
+                r.mnm = core.mnm.stats().clone();
+                r
+            })
+            .collect();
+        let sh = self.shared.lock().unwrap();
+        ShardReport { cores, l3: sh.l3.stats().clone(), epochs: sh.epochs }
+    }
+}
+
+/// One core's epoch: apply the inbox from the previous barrier, then run
+/// up to `ctx.epoch` accesses on private state.
+fn run_epoch(ctx: Ctx, core: &mut CoreState, obs: &mut dyn ShardObserver) {
+    // Coherence invalidations first: they reflect barrier-time state and
+    // must land before any new access queries the filters.
+    let invals = std::mem::take(&mut core.inbox_invals);
+    for &line in &invals {
+        core.ev_buf.clear();
+        let mut removed = 0u32;
+        let mut off = 0;
+        while off < ctx.l3_block_bytes {
+            removed += core.hier.invalidate_block(line + off, &mut core.ev_buf);
+            off += ctx.min_private_block;
+        }
+        core.mnm.observe_events(&core.ev_buf);
+        core.report.invalidations_received += u64::from(removed);
+        if removed > 0 {
+            obs.coherence_invalidation(core.id, line, removed, &core.ev_buf);
+        }
+    }
+    // Then the global shared-L3 event list: every core applies the same
+    // list, so shared-slot filter state is identical on all cores.
+    let events = std::mem::replace(&mut core.inbox_events, Arc::new(Vec::new()));
+    core.mnm.observe_events(&events);
+    let probes = std::mem::take(&mut core.inbox_probes);
+    core.mnm.note_probes(&probes);
+
+    for _ in 0..ctx.epoch {
+        let Some(&access) = core.stream.get(core.pos) else {
+            break;
+        };
+        core.pos += 1;
+        let verdict = core.mnm.query(access);
+        obs.verdict(core.id, access, verdict);
+        let res = core.hier.access_with_events(access, &verdict, &mut core.scratch);
+        core.mnm.observe_events(core.scratch.events());
+        core.mnm.note_probes(core.scratch.probes());
+        obs.private_step(core.id, access, core.scratch.events());
+        core.report.accesses += 1;
+        core.report.cycles += res.latency;
+        if access.kind == AccessKind::Store {
+            let line = access.addr & !(ctx.l3_block_bytes - 1);
+            if core.store_seen.insert(line) {
+                core.store_lines.push(line);
+            }
+        }
+        if res.supply_level == ctx.private_memory_level {
+            core.pending
+                .push(L3Request { access, bypass_l3: verdict.contains(ctx.l3_template_id) });
+        }
+    }
+}
+
+/// The serial barrier phase: resolve every queued L3 request in
+/// core-major program order, then fill the per-core inboxes. Returns
+/// true when the whole simulation has drained.
+fn resolve_barrier(
+    ctx: Ctx,
+    cores: &[Mutex<CoreState>],
+    shared: &mut SharedState,
+    obs: &mut dyn ShardObserver,
+) -> bool {
+    shared.placed.clear();
+    shared.epochs += 1;
+    let l3_sid = StructureId::new(0);
+    let mut global_events: Vec<CacheEvent> = Vec::new();
+    let mut victims: Vec<u64> = Vec::new();
+    let mut victim_seen: HashSet<u64> = HashSet::new();
+    let mut store_pub: Vec<Vec<u64>> = Vec::with_capacity(cores.len());
+    let mut probes_out: Vec<Vec<ProbeRecord>> = (0..cores.len()).map(|_| Vec::new()).collect();
+
+    for (ci, m) in cores.iter().enumerate() {
+        let mut core = m.lock().unwrap();
+        let reqs = std::mem::take(&mut core.pending);
+        for req in reqs {
+            core.report.l3_requests += 1;
+            let resident = shared.l3.contains(l3_sid, req.access.addr);
+            let line = req.access.addr & !(ctx.l3_block_bytes - 1);
+            let mut bypass = BypassSet::none();
+            let outcome = if req.bypass_l3 && !resident {
+                bypass.insert(l3_sid);
+                L3Outcome::Bypassed
+            } else if req.bypass_l3 && shared.placed.contains(&line) {
+                L3Outcome::Rescued
+            } else if req.bypass_l3 {
+                L3Outcome::Unsound
+            } else if resident {
+                L3Outcome::Hit
+            } else {
+                L3Outcome::Miss
+            };
+            let res = shared.l3.access_with_events(req.access, &bypass, &mut shared.scratch);
+            core.report.cycles += res.latency;
+            match outcome {
+                L3Outcome::Hit => core.report.l3_hits += 1,
+                L3Outcome::Miss => core.report.l3_misses += 1,
+                L3Outcome::Bypassed => core.report.l3_bypasses += 1,
+                L3Outcome::Rescued => {
+                    core.report.stale_bypass_rescues += 1;
+                    core.report.l3_hits += 1;
+                }
+                L3Outcome::Unsound => {
+                    core.report.unsound_verdicts += 1;
+                    core.report.l3_hits += 1;
+                }
+            }
+            obs.l3_resolution(ci, req.access, outcome);
+            for ev in shared.scratch.events() {
+                global_events.push(CacheEvent { structure: ctx.l3_template_id, ..*ev });
+                match ev.kind {
+                    EventKind::Placed => {
+                        shared.placed.insert(ev.block_base);
+                    }
+                    EventKind::Replaced => {
+                        if victim_seen.insert(ev.block_base) {
+                            victims.push(ev.block_base);
+                        }
+                    }
+                    EventKind::Invalidated => {}
+                }
+            }
+            for p in shared.scratch.probes() {
+                probes_out[ci].push(ProbeRecord { structure: ctx.l3_template_id, ..*p });
+            }
+        }
+        let published = std::mem::take(&mut core.store_lines);
+        core.store_seen.clear();
+        core.report.store_lines_published += published.len() as u64;
+        store_pub.push(published);
+    }
+    obs.l3_events(&global_events);
+
+    // Distribute: L3 victims invalidate every core's private copies;
+    // store lines invalidate every *other* core's.
+    let events = Arc::new(global_events);
+    let mut all_done = true;
+    for (ci, m) in cores.iter().enumerate() {
+        let mut core = m.lock().unwrap();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut invals: Vec<u64> = Vec::new();
+        for &v in &victims {
+            if seen.insert(v) {
+                invals.push(v);
+            }
+        }
+        for (cj, lines) in store_pub.iter().enumerate() {
+            if cj == ci {
+                continue;
+            }
+            for &l in lines {
+                if seen.insert(l) {
+                    invals.push(l);
+                }
+            }
+        }
+        let busy = core.pos < core.stream.len()
+            || !invals.is_empty()
+            || !events.is_empty()
+            || !probes_out[ci].is_empty();
+        core.inbox_invals = invals;
+        core.inbox_events = events.clone();
+        core.inbox_probes = std::mem::take(&mut probes_out[ci]);
+        if busy {
+            all_done = false;
+        }
+    }
+    all_done
+}

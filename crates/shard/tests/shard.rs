@@ -1,0 +1,111 @@
+//! End-to-end properties of the sharded simulation.
+
+use mnm_core::MnmConfig;
+use mnm_shard::{sharded_streams, ShardConfig, ShardedSim};
+use trace_synth::profiles;
+use trace_synth::sharing::SharingSpec;
+
+fn spec(cores: usize, ratio: f64) -> SharingSpec {
+    SharingSpec {
+        sharing_ratio: ratio,
+        // A small arena so shared lines genuinely collide across cores.
+        shared_bytes: 64 * 1024,
+        seed: 11,
+        ..SharingSpec::new(cores)
+    }
+}
+
+fn sim(label: &str, cores: usize, ratio: f64, n: usize, epoch: usize) -> ShardedSim {
+    let mut config = ShardConfig::new(cores, MnmConfig::parse(label).unwrap());
+    config.epoch = epoch;
+    let profile = profiles::by_name("181.mcf").unwrap();
+    let streams = sharded_streams(&profile, &spec(cores, ratio), n, config.l1.block_bytes);
+    ShardedSim::new(config, streams)
+}
+
+/// The parallel driver must be a pure performance optimization: same
+/// epochs, same per-core counters, same shared-L3 statistics,
+/// bit-for-bit. This is the race-freedom proof CI leans on.
+#[test]
+fn parallel_and_single_threaded_reports_are_identical() {
+    for label in ["HMNM4", "RMNM_512_2", "SMNM_13x2"] {
+        let parallel = sim(label, 4, 0.4, 6_000, 512).run();
+        let single = sim(label, 4, 0.4, 6_000, 512).run_single_threaded();
+        assert_eq!(parallel, single, "{label}: parallel run diverged from single-threaded");
+    }
+}
+
+/// No filter family may ever produce an unsound shared-L3 verdict, and
+/// under a sharing workload coherence traffic must actually flow:
+/// remote stores / L3 victims remove private blocks, and those removals
+/// reach the filters as invalidations.
+#[test]
+fn sharing_workloads_are_sound_and_generate_coherence_traffic() {
+    for label in ["HMNM4", "CMNM_8_12", "TMNM_12x3", "BLOOM_12x2"] {
+        let report = sim(label, 4, 0.5, 8_000, 512).run_single_threaded();
+        assert_eq!(report.total_unsound(), 0, "{label}: unsound shared-L3 verdicts");
+        let invals: u64 = report.cores.iter().map(|c| c.invalidations_received).sum();
+        assert!(invals > 0, "{label}: no coherence invalidations despite 50% sharing");
+        let filter_invals: u64 = report
+            .cores
+            .iter()
+            .map(|c| c.mnm.slots.iter().map(|s| s.invalidations).sum::<u64>())
+            .sum();
+        assert!(filter_invals > 0, "{label}: invalidations never reached the filters");
+        let stores: u64 = report.cores.iter().map(|c| c.store_lines_published).sum();
+        assert!(stores > 0, "{label}: no store lines published");
+    }
+}
+
+/// Filters must earn their keep at the shared level: definite-miss
+/// verdicts skip L3 probes, and the event-ledger identity
+/// `fills == evictions + invalidations + resident` holds for the L3 and
+/// every private structure.
+#[test]
+fn l3_bypasses_happen_and_conservation_holds() {
+    let report = sim("HMNM4", 4, 0.3, 8_000, 512).run_single_threaded();
+    let bypasses: u64 = report.cores.iter().map(|c| c.l3_bypasses).sum();
+    assert!(bypasses > 0, "no shared-L3 probes were saved");
+    let l3 = &report.l3.structures[0];
+    assert_eq!(l3.probes, l3.hits + l3.misses);
+    assert!(l3.fills >= l3.evictions + l3.invalidations);
+    for (ci, core) in report.cores.iter().enumerate() {
+        for st in &core.private.structures {
+            assert_eq!(st.probes, st.hits + st.misses, "core {ci}");
+            assert!(st.fills >= st.evictions + st.invalidations, "core {ci}");
+        }
+        // Every L3 request was classified exactly once.
+        assert_eq!(
+            core.l3_requests,
+            core.l3_hits + core.l3_misses + core.l3_bypasses,
+            "core {ci}: request classification does not add up"
+        );
+    }
+}
+
+/// All cores observe the same global shared-L3 event stream, so their
+/// shared-slot filters track identical state: the ul3 slot's update
+/// count must agree across cores.
+#[test]
+fn shared_slot_filter_state_is_identical_across_cores() {
+    let report = sim("CMNM_8_12", 4, 0.5, 6_000, 512).run_single_threaded();
+    let ul3_updates: Vec<u64> =
+        report.cores.iter().map(|c| c.mnm.slots.last().unwrap().updates).collect();
+    assert!(
+        ul3_updates.windows(2).all(|w| w[0] == w[1]),
+        "shared-slot update counts diverged across cores: {ul3_updates:?}"
+    );
+    assert!(ul3_updates[0] > 0, "shared slot never saw an event");
+}
+
+/// One core with zero sharing degenerates to a plain single-threaded
+/// replay: nothing is published, nothing is invalidated, and nothing is
+/// unsound.
+#[test]
+fn single_core_run_has_no_coherence_traffic() {
+    let report = sim("HMNM4", 1, 0.0, 6_000, 512).run_single_threaded();
+    assert_eq!(report.total_unsound(), 0);
+    let core = &report.cores[0];
+    assert_eq!(core.invalidations_received, 0, "no peers, so no store invalidations");
+    assert_eq!(core.accesses, 6_000);
+}

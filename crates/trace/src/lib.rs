@@ -44,10 +44,12 @@ mod rng;
 mod stats;
 
 pub mod profiles;
+pub mod sharing;
 
 pub use io::{decode_record, encode_record, read_trace, write_trace, TraceIoError, RECORD_BYTES};
 pub use program::{AppCategory, AppProfile, PhaseDrift, Program, RegionSpec};
 pub use record::{Instr, InstrKind};
 pub use regions::{Region, RegionKind};
 pub use rng::Prng;
+pub use sharing::{sharded_programs, SharedProgram, SharingSpec};
 pub use stats::{characterize, TraceStats};

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         Some("check") => return cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("slam") => return cmd_slam(&args[1..]),
+        Some("shard") => return cmd_shard(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -66,7 +67,10 @@ fn print_help() {
          jsn run-all [-o DIR] [--resume DIR] [--deadline SECS] [--retries N] [--only a,b] [--quiet]\n  \
          jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n  \
          jsn diff <a.json> <b.json> [--tol X]\n  \
-         jsn check [--seeds N] [--len N] [--filter LABEL] [--gen G] [--seed S] [--json] [-o FILE]\n\
+         jsn check [--seeds N] [--len N] [--filter LABEL] [--gen G] [--seed S] [--json] [-o FILE]\n  \
+         jsn shard [--app NAME] [--cores N] [-n N] [--epoch N] [--sharing R]\n            \
+         [--config LABEL] [--seed S] [--single] [--json] [--bench]\n            \
+         [--check [--quick] [--workload W]]\n\
          \n\
          Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
          RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>.\n\
@@ -85,6 +89,16 @@ fn print_help() {
          `--filter`/`--gen`/`--seed` restrict the sweep to replay one\n\
          scenario. Under a JSN_FAULT flip plan, check corrupts filter state\n\
          mid-trace and must report the lie as an UnsoundFlag violation.\n\
+         \n\
+         shard runs an epoch-synchronized N-core simulation: per-core\n\
+         private L1/L2 + MNM filters over one shared L3, with cross-core\n\
+         store and L3-victim invalidations driven through the filter event\n\
+         stream. Defaults come from JSN_CORES/JSN_EPOCH/JSN_SHARING. The\n\
+         parallel driver (one thread per core) is bit-identical to\n\
+         `--single`; `--bench` times both and verifies that identity;\n\
+         `--check` sweeps adversarial sharing workloads (pingpong,\n\
+         falsesharing, evictionrace, profile) across every filter family\n\
+         under a lockstep multi-core reference model.\n\
          \n\
          serve runs a long-lived trace-stream replay service:\n  \
          jsn serve [--listen EP] [--max-sessions N] [--queue FRAMES]\n            \
@@ -594,6 +608,187 @@ fn run_slam_cli(args: &[String]) -> Result<ExitCode, String> {
 /// Strict numeric flag parsing: the whole value must parse.
 fn parse_flag_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
     text.replace('_', "").parse().map_err(|_| format!("{flag} {text}: expected an integer"))
+}
+
+fn cmd_shard(args: &[String]) -> ExitCode {
+    match run_shard(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("jsn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `jsn shard`: the epoch-synchronized N-core simulation. Environment
+/// knobs `JSN_CORES`, `JSN_EPOCH`, and `JSN_SHARING` provide defaults
+/// for `--cores`, `--epoch`, and `--sharing`.
+fn run_shard(args: &[String]) -> Result<ExitCode, String> {
+    use just_say_no::mnm_check::{run_multicore_scenario, run_multicore_suite, MulticoreScenario};
+    use just_say_no::mnm_core::MnmConfig;
+    use just_say_no::mnm_shard::{sharded_streams, ShardConfig, ShardedSim};
+    use just_say_no::trace_synth::sharing::SharingSpec;
+
+    let env_num = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+    let cores = parse_n(args, "--cores", env_num("JSN_CORES").unwrap_or(4))? as usize;
+    let epoch = parse_n(args, "--epoch", env_num("JSN_EPOCH").unwrap_or(2048))? as usize;
+    let sharing: f64 = match parse_opt(args, "--sharing") {
+        Some(text) => text.parse().map_err(|_| format!("--sharing {text}: expected a ratio"))?,
+        None => std::env::var("JSN_SHARING").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25),
+    };
+    let label = parse_opt(args, "--config").unwrap_or("HMNM4");
+    let seed = match parse_opt(args, "--seed") {
+        Some(text) => parse_seed(text)?,
+        None => 42,
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let single = args.iter().any(|a| a == "--single");
+
+    if args.iter().any(|a| a == "--check") {
+        // Replay mode (a failure's reproducer line) or the full sweep.
+        let failures = if let Some(w) = parse_opt(args, "--workload") {
+            let workload = w.parse_workload()?;
+            let scenario = MulticoreScenario {
+                filter: label.to_owned(),
+                workload,
+                cores,
+                sharing_ratio: sharing,
+                seed,
+                len: parse_n(args, "-n", 6_000)? as usize,
+                epoch,
+            };
+            let report = run_multicore_scenario(&scenario)?;
+            println!(
+                "{}: {} accesses, {} invalidations, {} violation(s)",
+                scenario.reproducer_line(),
+                report.report.total_accesses(),
+                report.report.cores.iter().map(|c| c.invalidations_received).sum::<u64>(),
+                report.violations.len()
+            );
+            if report.passed() {
+                Vec::new()
+            } else {
+                vec![report]
+            }
+        } else {
+            let quick = args.iter().any(|a| a == "--quick");
+            let (failures, total) = run_multicore_suite(quick)?;
+            if failures.is_empty() {
+                println!(
+                    "shard check passed: {total} scenario(s) — every definite-miss verdict \
+                     sound under cross-core stores, shared-L3 victims, and barrier races"
+                );
+            }
+            failures
+        };
+        for failure in &failures {
+            eprintln!("shard check FAILED: {}", failure.scenario.reproducer_line());
+            for v in failure.violations.iter().take(5) {
+                eprintln!("  {v}");
+            }
+        }
+        return Ok(if failures.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+
+    let n = parse_n(args, "-n", 200_000)? as usize;
+    let mnm = MnmConfig::parse(label).map_err(|_| format!("unknown filter label '{label}'"))?;
+    let mut config = ShardConfig::new(cores, mnm);
+    config.epoch = epoch;
+    let app = parse_opt(args, "--app").unwrap_or("181.mcf");
+    let profile = lookup_app(app)?;
+    let spec = SharingSpec {
+        cores,
+        sharing_ratio: sharing,
+        shared_bytes: 256 * 1024,
+        line_bytes: config.l3.block_bytes,
+        seed,
+    };
+    let build = || {
+        let streams = sharded_streams(&profile, &spec, n, config.l1.block_bytes);
+        ShardedSim::new(config.clone(), streams)
+    };
+
+    if args.iter().any(|a| a == "--bench") {
+        // Throughput benchmark: single-threaded reference first, then
+        // the parallel driver over identical streams — and the two
+        // reports must be bit-identical (the race-freedom check).
+        let t0 = std::time::Instant::now();
+        let baseline = build().run_single_threaded();
+        let t_single = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let parallel = build().run();
+        let t_parallel = t1.elapsed();
+        if parallel != baseline {
+            eprintln!("shard bench FAILED: parallel run diverged from single-threaded replay");
+            return Ok(ExitCode::FAILURE);
+        }
+        let total = baseline.total_accesses();
+        let rate = |d: std::time::Duration| total as f64 / d.as_secs_f64() / 1e6;
+        println!(
+            "shard bench: {cores} cores, {total} accesses, {app} ({label}, sharing {sharing})\n  \
+             single-threaded: {:>8.2} Maccs/s\n  parallel:        {:>8.2} Maccs/s  \
+             (speedup {:.2}x)\n  reports identical: yes",
+            rate(t_single),
+            rate(t_parallel),
+            t_single.as_secs_f64() / t_parallel.as_secs_f64()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut sim = build();
+    let report = if single { sim.run_single_threaded() } else { sim.run() };
+    if json {
+        print!("{}", report.to_json(label, cores, epoch, sharing));
+    } else {
+        let l3 = &report.l3.structures[0];
+        println!(
+            "shard: {cores} cores x {n} accesses of {app} ({label}, sharing {sharing}, \
+             epoch {epoch}, {} epochs run)",
+            report.epochs
+        );
+        println!(
+            "  shared L3: {} probes ({} hits, {} misses), {} bypassed, {} fills, \
+             {} evictions, {} writebacks",
+            l3.probes, l3.hits, l3.misses, l3.bypasses, l3.fills, l3.evictions, l3.writebacks
+        );
+        for (i, c) in report.cores.iter().enumerate() {
+            println!(
+                "  core {i}: {} accesses, {} cycles, L3 req {} (hit {}, miss {}, bypass {}, \
+                 rescue {}), invalidations in {}, coverage {:.1}%",
+                c.accesses,
+                c.cycles,
+                c.l3_requests,
+                c.l3_hits,
+                c.l3_misses,
+                c.l3_bypasses,
+                c.stale_bypass_rescues,
+                c.invalidations_received,
+                100.0 * c.mnm.coverage()
+            );
+        }
+        let unsound = report.total_unsound();
+        println!("  unsound verdicts: {unsound}");
+        if unsound > 0 {
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Adapter so `--workload` parsing reads naturally above.
+trait ParseWorkload {
+    fn parse_workload(&self) -> Result<just_say_no::mnm_check::ShardWorkload, String>;
+}
+
+impl ParseWorkload for &str {
+    fn parse_workload(&self) -> Result<just_say_no::mnm_check::ShardWorkload, String> {
+        just_say_no::mnm_check::ShardWorkload::parse(self).ok_or_else(|| {
+            format!(
+                "unknown workload `{self}` (expected pingpong, falsesharing, evictionrace, \
+                 or profile)"
+            )
+        })
+    }
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {

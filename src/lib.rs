@@ -15,6 +15,8 @@
 //! * [`mnm_experiments`] — harness regenerating every table and figure.
 //! * [`mnm_check`] — differential soundness checker (`jsn check`).
 //! * [`mnm_serve`] — trace-stream replay service (`jsn serve` / `jsn slam`).
+//! * [`mnm_shard`] — epoch-synchronized multi-core sharded simulation
+//!   (`jsn shard`).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use mnm_check;
 pub use mnm_core;
 pub use mnm_experiments;
 pub use mnm_serve;
+pub use mnm_shard;
 pub use ooo_model;
 pub use power_model;
 pub use trace_synth;
