@@ -416,6 +416,37 @@ impl Hierarchy {
         AccessResult { supply_level, latency, misses, bypassed, probed_beyond_l1 }
     }
 
+    /// Drive a batch of requests through the hierarchy with a per-request
+    /// bypass decision, reusing one scratch buffer for the whole walk.
+    ///
+    /// This is the batched entry point for epoch resolvers (the sharded
+    /// simulation's shared-L3 drain): `decide` sees the hierarchy *before*
+    /// the request runs — exactly the [`AccessFilter::query`] shape — so it
+    /// can classify the request against current residency, and `observe`
+    /// receives the request's result plus its probe trail and event stream
+    /// before the next request mutates the scratch. Requests execute
+    /// strictly in slice order; each observes every earlier request's
+    /// fills, which is what makes a core-major resolver walk
+    /// deterministic.
+    ///
+    /// [`AccessFilter::query`]: crate::AccessFilter::query
+    pub fn run_requests<D, O>(
+        &mut self,
+        accesses: &[Access],
+        scratch: &mut ReplayScratch,
+        mut decide: D,
+        mut observe: O,
+    ) where
+        D: FnMut(&Hierarchy, Access) -> BypassSet,
+        O: FnMut(Access, AccessResult, &ReplayScratch),
+    {
+        for &access in accesses {
+            let bypass = decide(self, access);
+            let result = self.access_with_events(access, &bypass, scratch);
+            observe(access, result, scratch);
+        }
+    }
+
     fn fill_structure(&mut self, sid: StructureId, addr: u64, events: &mut Vec<CacheEvent>) {
         let block_bytes = self.caches[sid.0].config().block_bytes;
         let block_base = addr & !(block_bytes - 1);

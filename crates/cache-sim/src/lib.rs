@@ -42,6 +42,7 @@ mod cache;
 mod config;
 mod events;
 mod hierarchy;
+mod pad;
 mod replacement;
 mod replay;
 mod stats;
@@ -52,6 +53,7 @@ pub use cache::{Cache, Eviction};
 pub use config::{CacheConfig, ConfigError, HierarchyConfig, LevelConfig, WritePolicy};
 pub use events::{CacheEvent, EventKind};
 pub use hierarchy::{Hierarchy, StructureId, StructureInfo};
+pub use pad::CachePadded;
 pub use replacement::ReplacementPolicy;
 pub use replay::{AccessFilter, BatchSummary, NoFilter, ReplayScratch, ReplaySession};
 pub use stats::{HierarchyStats, StructureStats};

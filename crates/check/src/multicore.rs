@@ -15,13 +15,20 @@
 //!   it, plus event conservation (never place a resident block, never
 //!   remove an absent one).
 //! * **Shared-L3 verdict staleness** — per-core shared-slot filters are
-//!   refreshed only at barriers, so a verdict can be overtaken by
-//!   another core's fill. The checker maintains a global L3 ledger
-//!   updated exactly when the cores' filters are (the barrier event
-//!   broadcast) and requires every shared-L3 definite-miss verdict to
-//!   be sound *at issue time* against that frozen image — a strictly
-//!   stronger condition than the simulator's resolution-time
-//!   classification.
+//!   refreshed only when a resolution round's results are applied (one
+//!   epoch behind issue under the pipelined schedule), so a verdict can
+//!   be overtaken by another core's fill. The checker maintains a global
+//!   L3 ledger updated exactly when the cores' filters are (the
+//!   `l3_events` hook fires at application time, not resolution time)
+//!   and requires every shared-L3 definite-miss verdict to be sound *at
+//!   issue time* against that frozen image — a strictly stronger
+//!   condition than the simulator's resolution-time classification.
+//!
+//! Every scenario additionally verifies **engine identity**: the
+//! pipelined and barrier drivers must reproduce the observed
+//! single-threaded run bit-for-bit (the report equality that proves the
+//! SPSC handoff and the overlap of compute with resolution change
+//! nothing observable).
 //!
 //! Adversarial workloads concentrate on the cross-core races:
 //! producer/consumer ping-pong over a handful of shared lines, false
@@ -227,7 +234,8 @@ impl MulticoreScenario {
 }
 
 /// Lockstep multi-core reference model: per-core private residency
-/// ledgers plus a global shared-L3 ledger frozen between barriers.
+/// ledgers plus a global shared-L3 ledger frozen between resolution
+/// broadcasts.
 pub struct MulticoreChecker {
     gran: u64,
     l3_line: u64,
@@ -236,8 +244,8 @@ pub struct MulticoreChecker {
     /// Per core, per private structure (il1/dl1/ul2): resident block
     /// bases.
     private: Vec<Vec<HashSet<u64>>>,
-    /// Shared-L3 resident line bases, as of the last barrier broadcast —
-    /// exactly what every core's shared-slot filter knows.
+    /// Shared-L3 resident line bases, as of the last applied resolution
+    /// broadcast — exactly what every core's shared-slot filter knows.
     l3: HashSet<u64>,
     /// Violations found, rendered for humans.
     pub violations: Vec<String>,
@@ -405,7 +413,7 @@ pub fn run_multicore_scenario(scenario: &MulticoreScenario) -> Result<MulticoreR
     let streams =
         scenario.workload.generate(&config, scenario.seed, scenario.len, scenario.sharing_ratio);
     let mut checker = MulticoreChecker::new(&config);
-    let mut sim = ShardedSim::new(config, streams);
+    let mut sim = ShardedSim::new(config.clone(), streams.clone());
     let report = sim.run_single_threaded_observed(&mut checker);
     let mut violations = checker.violations;
     // The checker's event ledger and the simulator's counters must agree
@@ -417,6 +425,16 @@ pub fn run_multicore_scenario(scenario: &MulticoreScenario) -> Result<MulticoreR
                 checker.invalidations_seen[core], c.invalidations_received
             ));
         }
+    }
+    // Engine identity: both parallel drivers must reproduce the observed
+    // single-threaded run bit-for-bit.
+    let pipelined = ShardedSim::new(config.clone(), streams.clone()).run();
+    if pipelined != report {
+        violations.push("pipelined engine report diverges from single-threaded".to_owned());
+    }
+    let barrier = ShardedSim::new(config, streams).run_barrier();
+    if barrier != report {
+        violations.push("barrier engine report diverges from single-threaded".to_owned());
     }
     Ok(MulticoreReport { scenario: scenario.clone(), report, violations })
 }

@@ -419,6 +419,21 @@ impl Mnm {
         }
     }
 
+    /// Absorb one epoch resolution in a single batched call: the shared
+    /// level's global event list (every core applies the identical list,
+    /// keeping shared-slot filter state bit-identical everywhere) followed
+    /// by this core's probe records for coverage accounting.
+    ///
+    /// This is the filter-side entry point of the pipelined sharded
+    /// simulation's inbox application; the event/probe order matches the
+    /// per-access protocol ([`Mnm::observe_events`] before
+    /// [`Mnm::note_probes`]), so a batched refresh is indistinguishable
+    /// from having observed each access individually.
+    pub fn absorb_resolution(&mut self, events: &[CacheEvent], probes: &[ProbeRecord]) {
+        self.observe_events(events);
+        self.note_probes(probes);
+    }
+
     /// Query, drive the access through the hierarchy with the resulting
     /// bypass set, feed the event stream back, and record coverage — the
     /// full per-access MNM protocol in one call. Reuses the machine's

@@ -12,8 +12,12 @@
 //! core's filters through the `Invalidated` event path — a blocked
 //! filter update here would leave a filter believing a block is still
 //! resident (harmless) or, worse, un-counted state that drifts from the
-//! cache (the single-core desync bug this PR fixes). See
-//! [`sim`] for the execution model and the barrier soundness argument.
+//! cache. The default engine is **pipelined**: a dedicated resolver
+//! thread drains epoch E's shared-L3 queues while the cores already
+//! compute epoch E+1, with per-core bounded SPSC rings instead of a
+//! stop-the-world barrier. See [`sim`] for the execution model, the
+//! frozen-view soundness argument, and the three engines (pipelined /
+//! barrier / single) whose reports are bit-identical by contract.
 //!
 //! ```
 //! use mnm_core::MnmConfig;
@@ -33,9 +37,12 @@
 mod config;
 mod report;
 mod sim;
+mod spsc;
 mod stream;
+mod tune;
 
 pub use config::ShardConfig;
-pub use report::{CoreReport, ShardReport};
-pub use sim::{L3Outcome, ShardObserver, ShardedSim};
+pub use report::{CoreReport, ShardReport, ShardTiming};
+pub use sim::{Engine, L3Outcome, ShardObserver, ShardedSim};
 pub use stream::sharded_streams;
+pub use tune::{autotune_epoch, TunePoint, EPOCH_CANDIDATES};

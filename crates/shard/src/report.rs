@@ -43,8 +43,52 @@ pub struct CoreReport {
     pub mnm: MnmStats,
 }
 
+/// Wall-clock phase breakdown of one run. Purely diagnostic: timing is
+/// host-dependent and therefore **excluded from report equality** — the
+/// bit-identity contract between engines covers simulation results only.
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Which engine produced the run (`pipelined`, `barrier`, `single`).
+    pub engine: String,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_nanos: u64,
+    /// Nanoseconds spent computing epochs (summed across cores in the
+    /// parallel engines — divide by the core count for per-core time).
+    pub compute_nanos: u64,
+    /// Nanoseconds the resolver spent draining shared-L3 queues.
+    pub resolve_nanos: u64,
+    /// Nanoseconds cores spent stalled waiting for handoff (summed
+    /// across cores; zero in the single engine).
+    pub stall_nanos: u64,
+}
+
+impl Default for ShardTiming {
+    fn default() -> Self {
+        ShardTiming {
+            engine: "unrun".to_owned(),
+            wall_nanos: 0,
+            compute_nanos: 0,
+            resolve_nanos: 0,
+            stall_nanos: 0,
+        }
+    }
+}
+
+impl ShardTiming {
+    /// Fraction of the run's wall clock the resolver was busy. Near 1.0
+    /// means resolution is the bottleneck (epochs too short or too many
+    /// shared requests); the `--epoch auto` tuner targets keeping this
+    /// below its occupancy ceiling.
+    pub fn resolver_occupancy(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.resolve_nanos as f64 / self.wall_nanos as f64
+    }
+}
+
 /// The full result of a sharded run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ShardReport {
     /// One report per core, in core order.
     pub cores: Vec<CoreReport>,
@@ -52,6 +96,16 @@ pub struct ShardReport {
     pub l3: HierarchyStats,
     /// Number of epochs executed (including the final drain epoch).
     pub epochs: u64,
+    /// Host-dependent phase timing (not part of report equality).
+    pub timing: ShardTiming,
+}
+
+// Manual equality: `timing` is host noise, everything else is the
+// deterministic simulation result the engines must agree on bit-for-bit.
+impl PartialEq for ShardReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cores == other.cores && self.l3 == other.l3 && self.epochs == other.epochs
+    }
 }
 
 impl ShardReport {
@@ -75,6 +129,18 @@ impl ShardReport {
         s.push_str(&format!("  \"cores\": {cores},\n"));
         s.push_str(&format!("  \"epoch\": {epoch},\n"));
         s.push_str(&format!("  \"sharing_ratio\": {sharing},\n"));
+        // One line on purpose: timing is host noise, and CI strips it
+        // with `grep -v '"timing"'` before diffing engine outputs.
+        s.push_str(&format!(
+            "  \"timing\": {{\"engine\": \"{}\", \"wall_nanos\": {}, \"compute_nanos\": {}, \
+             \"resolve_nanos\": {}, \"stall_nanos\": {}, \"resolver_occupancy\": {:.6}}},\n",
+            self.timing.engine,
+            self.timing.wall_nanos,
+            self.timing.compute_nanos,
+            self.timing.resolve_nanos,
+            self.timing.stall_nanos,
+            self.timing.resolver_occupancy(),
+        ));
         s.push_str(&format!("  \"epochs_run\": {},\n", self.epochs));
         s.push_str(&format!("  \"total_accesses\": {},\n", self.total_accesses()));
         s.push_str(&format!("  \"unsound_verdicts\": {},\n", self.total_unsound()));

@@ -1,44 +1,88 @@
-//! The epoch-synchronized sharded simulator.
+//! The pipelined epoch-synchronized sharded simulator.
 //!
 //! ## Execution model
 //!
 //! Time is divided into **epochs** of `epoch` accesses per core. Within
 //! an epoch every core runs entirely on private state — its own L1/L2
-//! hierarchy and its own MNM — so the parallel driver needs no
-//! synchronization until the epoch ends. Accesses that miss every
-//! private level are queued as shared-L3 requests instead of being
-//! resolved immediately: the shared L3 is **frozen** from a core's point
-//! of view for the duration of an epoch.
+//! hierarchy and its own MNM — so the drivers need no synchronization
+//! while an epoch computes. Accesses that miss every private level are
+//! queued as shared-L3 requests instead of being resolved immediately:
+//! the shared L3 is **frozen** from a core's point of view for the
+//! duration of an epoch.
 //!
-//! At the **barrier** the leader resolves all queued L3 requests
-//! serially in core-major program order (deterministic regardless of
-//! thread scheduling), then distributes three things into per-core
-//! inboxes:
+//! ## The one-epoch-deep pipeline
 //!
-//! * **invalidations** — L3 replacement victims (to every core) and
-//!   lines stored by other cores (coherence), applied to private caches
-//!   *and* filters through the `Invalidated` event path;
-//! * the **global L3 event list** — every core applies the same list, so
-//!   per-core shared-L3 filter state is identical everywhere;
-//! * this core's **L3 probe records** for coverage accounting.
+//! The original engine alternated: all cores compute epoch E, a barrier,
+//! one thread serially resolves epoch E's shared-L3 queue while every
+//! core idles, repeat — a textbook Amdahl ceiling (the serial resolve
+//! phase bounded `shard_scaling` speedup no matter the core count). The
+//! paper's own pitch is hiding latency by deciding misses *early*; the
+//! engine now hides its resolution latency the same way:
 //!
-//! Each core applies its inbox at the start of its next epoch, in
-//! parallel, before touching new accesses.
+//! * cores compute epoch **E+1** while the resolver drains epoch **E**'s
+//!   queues — compute and resolution overlap instead of alternating;
+//! * the results of resolving epoch E (coherence invalidations, the
+//!   global L3 event list, probe records, per-core counter deltas) are
+//!   applied at the start of epoch **E+2**, the first epoch that begins
+//!   after the resolution is guaranteed complete.
 //!
-//! ## Verdict soundness across the barrier
+//! Epoch E therefore runs against the L3 image left by resolution of
+//! epoch E−2 — a *frozen view*, exactly as before, just one resolution
+//! round deeper. Everything that made the frozen-view argument sound is
+//! unchanged: requests still resolve serially in core-major program
+//! order (deterministic regardless of thread scheduling), every core
+//! still applies the identical global event list (so shared-slot filter
+//! state is bit-identical everywhere), and verdicts are still classified
+//! at resolution time as sound bypass / stale rescue / unsound. Only
+//! *when* resolution happens relative to the next epoch's compute moved.
 //!
-//! A definite-miss verdict for the shared L3 is issued against the
-//! epoch-start L3 image. By resolution time the line may have been
-//! placed *by this barrier itself* (an earlier request of any core);
-//! such a verdict is demoted to a normal probe and counted as a
-//! [`stale bypass rescue`](crate::CoreReport::stale_bypass_rescues) —
-//! the verdict was sound when issued. A bypass verdict that finds a line
-//! which was already resident at epoch start is a genuine soundness
-//! violation and counted in
-//! [`unsound_verdicts`](crate::CoreReport::unsound_verdicts).
+//! ## Engines
+//!
+//! Three drivers execute the identical schedule and must produce
+//! bit-identical [`ShardReport`]s (asserted in tests, the
+//! `shard_scaling` bench, and CI):
+//!
+//! * [`Engine::Pipelined`] (the default, [`ShardedSim::run`]) — one host
+//!   thread per core plus a dedicated resolver thread. Handoff is
+//!   per-core bounded SPSC rings ([`crate::spsc`]): an outbox (epoch
+//!   requests + published store lines) and an inbox (resolution
+//!   results). Cores never touch a shared lock; the old
+//!   `Mutex<CoreState>` + `Barrier` pair is gone.
+//! * [`Engine::Barrier`] ([`ShardedSim::run_barrier`]) — the
+//!   stop-the-world baseline: same schedule, but resolution happens
+//!   inside the barrier window while cores wait. Kept as the speedup
+//!   baseline the bench compares against (`--pipeline off`).
+//! * [`Engine::Single`] ([`ShardedSim::run_single_threaded`]) — the
+//!   whole schedule on the calling thread; the reference execution and
+//!   the only driver that invokes a [`ShardObserver`].
+//!
+//! ### Why the SPSC depth is bounded
+//!
+//! A core entering epoch E+2 blocks until resolution of epoch E arrives
+//! in its inbox, so a core can run at most ~1.5 epochs ahead of the
+//! resolver; symmetrically the resolver blocks on each core's outbox.
+//! Per direction at most two messages are ever in flight (plus the final
+//! stop message), so a 4-slot ring never deadlocks.
+//!
+//! ## Verdict soundness across the pipeline
+//!
+//! A definite-miss verdict for the shared L3 issued during epoch E is
+//! issued against the post-R(E−2) L3 image (R(x) = resolution of epoch
+//! x). By the time R(E) examines the request, the line may have been
+//! placed by R(E−1) or by an earlier request within R(E) — placements
+//! the verdict could not have seen; such a verdict is demoted to a
+//! normal probe and counted as a
+//! [`stale bypass rescue`](crate::CoreReport::stale_bypass_rescues).
+//! A bypass verdict that finds a line which was already resident in the
+//! frozen image is a genuine soundness violation and counted in
+//! [`unsound_verdicts`](crate::CoreReport::unsound_verdicts). The
+//! resolver tracks the rescue window as the placement sets of the
+//! current and previous resolution rounds — exactly the events the
+//! issuing filter had not yet absorbed.
 
 use crate::config::ShardConfig;
-use crate::report::{CoreReport, ShardReport};
+use crate::report::{CoreReport, ShardReport, ShardTiming};
+use crate::spsc::SpscRing;
 use cache_sim::{
     Access, AccessKind, BypassSet, CacheEvent, EventKind, Hierarchy, ProbeRecord, ReplayScratch,
     StructureId,
@@ -47,8 +91,9 @@ use mnm_core::Mnm;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
 
-/// How one shared-L3 request was resolved at the barrier.
+/// How one shared-L3 request was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L3Outcome {
     /// Probed the L3 and hit.
@@ -58,17 +103,48 @@ pub enum L3Outcome {
     /// Definite-miss verdict honored: probe skipped, block indeed absent.
     Bypassed,
     /// Definite-miss verdict found the block resident, but only because
-    /// this barrier placed it after the verdict was issued. Sound;
-    /// demoted to a probe.
+    /// a resolution round after the verdict's frozen view placed it.
+    /// Sound; demoted to a probe.
     Rescued,
-    /// Definite-miss verdict found a block that was resident at epoch
-    /// start: a genuine soundness violation.
+    /// Definite-miss verdict found a block that was resident in the
+    /// verdict's frozen view: a genuine soundness violation.
     Unsound,
+}
+
+/// The execution engine driving the epoch schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Cores compute epoch E+1 while a dedicated resolver thread drains
+    /// epoch E; SPSC handoff, no shared locks. The default.
+    Pipelined,
+    /// Stop-the-world baseline: resolution runs inside the barrier
+    /// window while every core idles (`--pipeline off`).
+    Barrier,
+    /// Everything on the calling thread; the reference execution.
+    Single,
+}
+
+impl Engine {
+    /// Stable label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Pipelined => "pipelined",
+            Engine::Barrier => "barrier",
+            Engine::Single => "single",
+        }
+    }
 }
 
 /// Hooks for lockstep checking. Only the single-threaded driver
 /// ([`ShardedSim::run_single_threaded_observed`]) invokes an observer;
-/// the parallel driver is proven equivalent to it by report identity.
+/// the parallel drivers are proven equivalent to it by report identity.
+///
+/// Hook timing follows the *cores'* view of the pipeline: `l3_events`
+/// fires when a resolution round's global event list is **applied** (the
+/// moment every core's shared-slot filter state advances), not when the
+/// resolver produced it — so an observer validating verdicts against its
+/// own ledger sees exactly the frozen image the filters saw, one-epoch
+/// pipelining included.
 pub trait ShardObserver {
     /// A core issued a verdict for an access (before the access ran).
     fn verdict(&mut self, _core: usize, _access: Access, _verdict: BypassSet) {}
@@ -86,27 +162,117 @@ pub trait ShardObserver {
         _events: &[CacheEvent],
     ) {
     }
-    /// The barrier resolved one of a core's shared-L3 requests.
+    /// The resolver resolved one of a core's shared-L3 requests.
     fn l3_resolution(&mut self, _core: usize, _access: Access, _outcome: L3Outcome) {}
-    /// The barrier finished: the global shared-L3 event list every core
-    /// will apply at its next epoch start.
+    /// A resolution round's global shared-L3 event list is being applied
+    /// by every core (the filters' frozen view advances past it now).
     fn l3_events(&mut self, _events: &[CacheEvent]) {}
 }
 
-/// The no-op observer used by the parallel driver.
+/// The no-op observer used by the parallel drivers.
 struct NoopObserver;
 
 impl ShardObserver for NoopObserver {}
 
 /// An access that left the private levels during an epoch, waiting for
-/// barrier resolution against the shared L3.
+/// resolution against the shared L3.
 struct L3Request {
     access: Access,
     /// The epoch-start verdict claimed the shared L3 definitely misses.
     bypass_l3: bool,
 }
 
-/// Everything one core owns.
+/// One epoch's worth of core → resolver traffic.
+struct OutMsg {
+    /// Shared-L3 requests in program order.
+    requests: Vec<L3Request>,
+    /// L3 lines this core stored to this epoch, deduplicated, in store
+    /// order (published as invalidations to every other core).
+    stores: Vec<u64>,
+    /// The core's stream is fully consumed.
+    exhausted: bool,
+}
+
+impl OutMsg {
+    fn empty() -> Self {
+        OutMsg { requests: Vec::new(), stores: Vec::new(), exhausted: true }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.requests.is_empty() && self.stores.is_empty()
+    }
+}
+
+/// Per-core counter deltas accumulated by the resolver; folded into the
+/// core's own [`CoreReport`] when the core applies the resolution (the
+/// resolver never touches core-owned state).
+#[derive(Debug, Clone, Copy, Default)]
+struct ResolveDelta {
+    l3_requests: u64,
+    l3_hits: u64,
+    l3_misses: u64,
+    l3_bypasses: u64,
+    stale_bypass_rescues: u64,
+    unsound_verdicts: u64,
+    cycles: u64,
+    store_lines_published: u64,
+}
+
+impl ResolveDelta {
+    fn is_zero(&self) -> bool {
+        self.l3_requests == 0
+            && self.l3_hits == 0
+            && self.l3_misses == 0
+            && self.l3_bypasses == 0
+            && self.stale_bypass_rescues == 0
+            && self.unsound_verdicts == 0
+            && self.cycles == 0
+            && self.store_lines_published == 0
+    }
+}
+
+/// One resolution round's results for one core (resolver → core).
+struct ResolvedMsg {
+    /// Coherence invalidations: L3 victims (every core) then other
+    /// cores' store lines, deduplicated, in deterministic order.
+    invals: Vec<u64>,
+    /// The global L3 event list — identical for every core, so per-core
+    /// shared-slot filter state stays identical everywhere.
+    events: Arc<Vec<CacheEvent>>,
+    /// This core's L3 probe records for coverage accounting.
+    probes: Vec<ProbeRecord>,
+    /// Counter deltas this core folds into its report.
+    delta: ResolveDelta,
+    /// The simulation is complete; the core thread exits.
+    stop: bool,
+}
+
+impl ResolvedMsg {
+    fn prime() -> Self {
+        ResolvedMsg {
+            invals: Vec::new(),
+            events: Arc::new(Vec::new()),
+            probes: Vec::new(),
+            delta: ResolveDelta::default(),
+            stop: false,
+        }
+    }
+
+    fn stop() -> Self {
+        ResolvedMsg { stop: true, ..ResolvedMsg::prime() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.invals.is_empty()
+            && self.events.is_empty()
+            && self.probes.is_empty()
+            && self.delta.is_zero()
+    }
+}
+
+/// Everything one core owns. Exactly one thread touches a `CoreState`
+/// at any time: its own thread in the parallel engines (no `Mutex`),
+/// the calling thread in the single engine.
 struct CoreState {
     id: usize,
     hier: Hierarchy,
@@ -114,25 +280,34 @@ struct CoreState {
     stream: Vec<Access>,
     pos: usize,
     pending: Vec<L3Request>,
-    /// L3 lines stored to this epoch, deduplicated, in store order.
     store_lines: Vec<u64>,
     store_seen: HashSet<u64>,
-    inbox_invals: Vec<u64>,
-    inbox_events: Arc<Vec<CacheEvent>>,
-    inbox_probes: Vec<ProbeRecord>,
     report: CoreReport,
     scratch: ReplayScratch,
     ev_buf: Vec<CacheEvent>,
+    /// Nanoseconds this core spent computing epochs + applying inboxes.
+    compute_nanos: u64,
+    /// Nanoseconds this core spent stalled waiting for handoff.
+    stall_nanos: u64,
 }
 
-/// State only the barrier leader touches.
-struct SharedState {
+/// State only the resolver touches (the leader thread in the barrier
+/// engine, the dedicated resolver thread in the pipelined engine, the
+/// calling thread in the single engine).
+struct ResolverState {
     l3: Hierarchy,
-    /// L3 lines placed during the current barrier (stale-bypass rescue
-    /// detection).
-    placed: HashSet<u64>,
+    /// L3 lines placed during the current resolution round.
+    placed_cur: HashSet<u64>,
+    /// L3 lines placed during the previous round — still invisible to
+    /// the filters that issued this round's verdicts (stale-bypass
+    /// rescue window, see the module docs).
+    placed_prev: HashSet<u64>,
     scratch: ReplayScratch,
-    epochs: u64,
+    access_buf: Vec<Access>,
+    /// Rounds executed — the number of epochs the schedule ran.
+    rounds: u64,
+    /// Nanoseconds spent inside [`resolve_round`].
+    resolve_nanos: u64,
 }
 
 /// Immutable per-run facts threaded through the drivers.
@@ -148,9 +323,10 @@ struct Ctx {
 /// An N-core sharded simulation (see the module docs for the model).
 pub struct ShardedSim {
     config: ShardConfig,
-    cores: Vec<Mutex<CoreState>>,
-    shared: Mutex<SharedState>,
+    cores: Vec<CoreState>,
+    resolver: ResolverState,
     ctx: Ctx,
+    timing: ShardTiming,
 }
 
 impl ShardedSim {
@@ -182,36 +358,34 @@ impl ShardedSim {
         let cores = streams
             .into_iter()
             .enumerate()
-            .map(|(id, stream)| {
-                let hier = Hierarchy::new(private_cfg.clone());
-                let mnm = Mnm::new(&template, config.mnm.clone());
-                Mutex::new(CoreState {
-                    id,
-                    hier,
-                    mnm,
-                    stream,
-                    pos: 0,
-                    pending: Vec::new(),
-                    store_lines: Vec::new(),
-                    store_seen: HashSet::new(),
-                    inbox_invals: Vec::new(),
-                    inbox_events: Arc::new(Vec::new()),
-                    inbox_probes: Vec::new(),
-                    report: CoreReport::default(),
-                    scratch: ReplayScratch::new(),
-                    ev_buf: Vec::new(),
-                })
+            .map(|(id, stream)| CoreState {
+                id,
+                hier: Hierarchy::new(private_cfg.clone()),
+                mnm: Mnm::new(&template, config.mnm.clone()),
+                stream,
+                pos: 0,
+                pending: Vec::new(),
+                store_lines: Vec::new(),
+                store_seen: HashSet::new(),
+                report: CoreReport::default(),
+                scratch: ReplayScratch::new(),
+                ev_buf: Vec::new(),
+                compute_nanos: 0,
+                stall_nanos: 0,
             })
             .collect();
         // base_level 3: the standalone L3 hierarchy represents the outer
         // level of the template system, so its structure is bypassable
         // (level-1 structures never are) and probes carry the true level.
-        let shared = Mutex::new(SharedState {
+        let resolver = ResolverState {
             l3: Hierarchy::with_base_level(config.l3_hierarchy(), 3),
-            placed: HashSet::new(),
+            placed_cur: HashSet::new(),
+            placed_prev: HashSet::new(),
             scratch: ReplayScratch::new(),
-            epochs: 0,
-        });
+            access_buf: Vec::new(),
+            rounds: 0,
+            resolve_nanos: 0,
+        };
         let ctx = Ctx {
             l3_template_id,
             private_memory_level: Hierarchy::new(private_cfg).memory_level(),
@@ -219,7 +393,7 @@ impl ShardedSim {
             min_private_block,
             epoch: config.epoch,
         };
-        ShardedSim { config, cores, shared, ctx }
+        ShardedSim { config, cores, resolver, ctx, timing: ShardTiming::default() }
     }
 
     /// The configuration this simulation was built with.
@@ -227,31 +401,205 @@ impl ShardedSim {
         &self.config
     }
 
-    /// Run with one host thread per core. Produces a report
-    /// bit-identical to [`ShardedSim::run_single_threaded`].
+    /// Run the pipelined engine (one host thread per core plus a
+    /// resolver thread). Produces a report bit-identical to
+    /// [`ShardedSim::run_single_threaded`].
     pub fn run(&mut self) -> ShardReport {
-        let barrier = Barrier::new(self.config.cores);
-        let done = AtomicBool::new(false);
+        self.run_engine(Engine::Pipelined)
+    }
+
+    /// Run the stop-the-world barrier baseline. Produces a report
+    /// bit-identical to [`ShardedSim::run_single_threaded`].
+    pub fn run_barrier(&mut self) -> ShardReport {
+        self.run_engine(Engine::Barrier)
+    }
+
+    /// Run everything on the calling thread (the reference execution the
+    /// parallel drivers must match).
+    pub fn run_single_threaded(&mut self) -> ShardReport {
+        self.run_engine(Engine::Single)
+    }
+
+    /// Run the selected engine.
+    pub fn run_engine(&mut self, engine: Engine) -> ShardReport {
+        match engine {
+            Engine::Pipelined => self.run_pipelined(),
+            Engine::Barrier => self.run_barrier_engine(),
+            Engine::Single => self.run_single_threaded_observed(&mut NoopObserver),
+        }
+    }
+
+    /// Single-threaded run with lockstep checking hooks.
+    pub fn run_single_threaded_observed(&mut self, obs: &mut dyn ShardObserver) -> ShardReport {
         let ctx = self.ctx;
-        let cores = &self.cores;
-        let shared = &self.shared;
+        let wall = Instant::now();
+        let n = self.cores.len();
+        let mut inbox: Vec<Option<ResolvedMsg>> = (0..n).map(|_| None).collect();
+        let mut prev_outs: Vec<OutMsg> = (0..n).map(|_| OutMsg::empty()).collect();
+        let mut compute_nanos = 0u64;
+        loop {
+            self.resolver.rounds += 1;
+            // Epoch start: the frozen view advances past the resolution
+            // round being applied (if any) — tell the observer first so
+            // its ledger matches the filters when verdicts are checked.
+            if let Some(msg) = inbox.iter().flatten().next() {
+                obs.l3_events(&msg.events);
+            }
+            let t0 = Instant::now();
+            let mut cur_outs = Vec::with_capacity(n);
+            for (ci, core) in self.cores.iter_mut().enumerate() {
+                if let Some(msg) = inbox[ci].take() {
+                    apply_inbox(ctx, core, &msg, obs);
+                }
+                cur_outs.push(run_epoch_compute(ctx, core, obs));
+            }
+            compute_nanos += elapsed_nanos(t0);
+            let outs = std::mem::replace(&mut prev_outs, cur_outs);
+            let msgs = resolve_round(ctx, outs, &mut self.resolver, obs);
+            let done = prev_outs.iter().all(|o| o.exhausted && o.is_empty())
+                && msgs.iter().all(ResolvedMsg::is_empty);
+            for (ci, m) in msgs.into_iter().enumerate() {
+                inbox[ci] = Some(m);
+            }
+            if done {
+                break;
+            }
+        }
+        self.timing = ShardTiming {
+            engine: Engine::Single.label().to_owned(),
+            wall_nanos: elapsed_nanos(wall),
+            compute_nanos,
+            resolve_nanos: self.resolver.resolve_nanos,
+            stall_nanos: 0,
+        };
+        self.build_report()
+    }
+
+    /// The pipelined engine: compute overlaps resolution, handoff over
+    /// per-core SPSC rings, no shared locks anywhere on the hot path.
+    fn run_pipelined(&mut self) -> ShardReport {
+        let ctx = self.ctx;
+        let wall = Instant::now();
+        let n = self.config.cores;
+        let outboxes: Vec<SpscRing<OutMsg>> = (0..n).map(|_| SpscRing::new()).collect();
+        let inboxes: Vec<SpscRing<ResolvedMsg>> = (0..n).map(|_| SpscRing::new()).collect();
+        let cores = &mut self.cores;
+        let resolver = &mut self.resolver;
         std::thread::scope(|scope| {
-            for t in 0..self.config.cores {
+            for (t, core) in cores.iter_mut().enumerate() {
+                let outbox = &outboxes[t];
+                let inbox = &inboxes[t];
+                scope.spawn(move || {
+                    let mut noop = NoopObserver;
+                    // Epoch 0 primes the pipeline: no results exist yet.
+                    let t0 = Instant::now();
+                    let out = run_epoch_compute(ctx, core, &mut noop);
+                    core.compute_nanos += elapsed_nanos(t0);
+                    outbox.push(out);
+                    loop {
+                        let t1 = Instant::now();
+                        let msg = inbox.pop();
+                        core.stall_nanos += elapsed_nanos(t1);
+                        if msg.stop {
+                            break;
+                        }
+                        let t2 = Instant::now();
+                        apply_inbox(ctx, core, &msg, &mut noop);
+                        let out = run_epoch_compute(ctx, core, &mut noop);
+                        core.compute_nanos += elapsed_nanos(t2);
+                        outbox.push(out);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut noop = NoopObserver;
+                // Prime each core with an empty round-(-1) result so
+                // epoch 1 starts without waiting on resolution of epoch 0
+                // — that is the pipeline.
+                for inbox in &inboxes {
+                    inbox.push(ResolvedMsg::prime());
+                }
+                let mut prev_empty = true;
+                loop {
+                    let outs: Vec<OutMsg> = outboxes.iter().map(SpscRing::pop).collect();
+                    resolver.rounds += 1;
+                    let done = prev_empty && outs.iter().all(|o| o.exhausted && o.is_empty());
+                    if done {
+                        for inbox in &inboxes {
+                            inbox.push(ResolvedMsg::stop());
+                        }
+                        break;
+                    }
+                    let msgs = resolve_round(ctx, outs, resolver, &mut noop);
+                    prev_empty = msgs.iter().all(ResolvedMsg::is_empty);
+                    for (ci, m) in msgs.into_iter().enumerate() {
+                        inboxes[ci].push(m);
+                    }
+                }
+            });
+        });
+        self.timing = ShardTiming {
+            engine: Engine::Pipelined.label().to_owned(),
+            wall_nanos: elapsed_nanos(wall),
+            compute_nanos: self.cores.iter().map(|c| c.compute_nanos).sum(),
+            resolve_nanos: self.resolver.resolve_nanos,
+            stall_nanos: self.cores.iter().map(|c| c.stall_nanos).sum(),
+        };
+        self.build_report()
+    }
+
+    /// The stop-the-world baseline: same schedule, but resolution runs
+    /// inside the barrier window while every core idles.
+    fn run_barrier_engine(&mut self) -> ShardReport {
+        let ctx = self.ctx;
+        let wall = Instant::now();
+        let n = self.config.cores;
+        let barrier = Barrier::new(n);
+        let done = AtomicBool::new(false);
+        let out_slots: Vec<Mutex<Option<OutMsg>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let in_slots: Vec<Mutex<Option<ResolvedMsg>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let prev_outs: Mutex<Vec<OutMsg>> = Mutex::new((0..n).map(|_| OutMsg::empty()).collect());
+        let resolver = Mutex::new(&mut self.resolver);
+        let cores = &mut self.cores;
+        std::thread::scope(|scope| {
+            for (t, core) in cores.iter_mut().enumerate() {
                 let barrier = &barrier;
                 let done = &done;
+                let out_slots = &out_slots;
+                let in_slots = &in_slots;
+                let prev_outs = &prev_outs;
+                let resolver = &resolver;
                 scope.spawn(move || {
                     let mut noop = NoopObserver;
                     loop {
-                        {
-                            let mut core = cores[t].lock().unwrap();
-                            run_epoch(ctx, &mut core, &mut noop);
+                        let t0 = Instant::now();
+                        let msg = in_slots[t].lock().unwrap().take();
+                        if let Some(msg) = msg {
+                            apply_inbox(ctx, core, &msg, &mut noop);
                         }
+                        let out = run_epoch_compute(ctx, core, &mut noop);
+                        *out_slots[t].lock().unwrap() = Some(out);
+                        core.compute_nanos += elapsed_nanos(t0);
+                        let t1 = Instant::now();
                         if barrier.wait().is_leader() {
-                            let mut sh = shared.lock().unwrap();
-                            let all_done = resolve_barrier(ctx, cores, &mut sh, &mut noop);
+                            let mut rs = resolver.lock().unwrap();
+                            rs.rounds += 1;
+                            let cur: Vec<OutMsg> = out_slots
+                                .iter()
+                                .map(|s| s.lock().unwrap().take().expect("core missed a round"))
+                                .collect();
+                            let mut prev = prev_outs.lock().unwrap();
+                            let outs = std::mem::replace(&mut *prev, cur);
+                            let msgs = resolve_round(ctx, outs, &mut rs, &mut noop);
+                            let all_done = prev.iter().all(|o| o.exhausted && o.is_empty())
+                                && msgs.iter().all(ResolvedMsg::is_empty);
+                            for (ci, m) in msgs.into_iter().enumerate() {
+                                *in_slots[ci].lock().unwrap() = Some(m);
+                            }
                             done.store(all_done, Ordering::SeqCst);
                         }
                         barrier.wait();
+                        core.stall_nanos += elapsed_nanos(t1);
                         if done.load(Ordering::SeqCst) {
                             break;
                         }
@@ -259,28 +607,13 @@ impl ShardedSim {
                 });
             }
         });
-        self.build_report()
-    }
-
-    /// Run everything on the calling thread (the reference execution the
-    /// parallel driver must match).
-    pub fn run_single_threaded(&mut self) -> ShardReport {
-        self.run_single_threaded_observed(&mut NoopObserver)
-    }
-
-    /// Single-threaded run with lockstep checking hooks.
-    pub fn run_single_threaded_observed(&mut self, obs: &mut dyn ShardObserver) -> ShardReport {
-        let ctx = self.ctx;
-        loop {
-            for m in &self.cores {
-                let mut core = m.lock().unwrap();
-                run_epoch(ctx, &mut core, obs);
-            }
-            let mut sh = self.shared.lock().unwrap();
-            if resolve_barrier(ctx, &self.cores, &mut sh, obs) {
-                break;
-            }
-        }
+        self.timing = ShardTiming {
+            engine: Engine::Barrier.label().to_owned(),
+            wall_nanos: elapsed_nanos(wall),
+            compute_nanos: self.cores.iter().map(|c| c.compute_nanos).sum(),
+            resolve_nanos: self.resolver.resolve_nanos,
+            stall_nanos: self.cores.iter().map(|c| c.stall_nanos).sum(),
+        };
         self.build_report()
     }
 
@@ -288,26 +621,33 @@ impl ShardedSim {
         let cores = self
             .cores
             .iter()
-            .map(|m| {
-                let core = m.lock().unwrap();
+            .map(|core| {
                 let mut r = core.report.clone();
                 r.private = core.hier.stats().clone();
                 r.mnm = core.mnm.stats().clone();
                 r
             })
             .collect();
-        let sh = self.shared.lock().unwrap();
-        ShardReport { cores, l3: sh.l3.stats().clone(), epochs: sh.epochs }
+        ShardReport {
+            cores,
+            l3: self.resolver.l3.stats().clone(),
+            epochs: self.resolver.rounds,
+            timing: self.timing.clone(),
+        }
     }
 }
 
-/// One core's epoch: apply the inbox from the previous barrier, then run
-/// up to `ctx.epoch` accesses on private state.
-fn run_epoch(ctx: Ctx, core: &mut CoreState, obs: &mut dyn ShardObserver) {
-    // Coherence invalidations first: they reflect barrier-time state and
-    // must land before any new access queries the filters.
-    let invals = std::mem::take(&mut core.inbox_invals);
-    for &line in &invals {
+fn elapsed_nanos(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Apply one resolution round's results to a core: coherence
+/// invalidations first (they reflect resolution-time state and must land
+/// before any new access queries the filters), then the global shared-L3
+/// event list and this core's probe records in one batched filter
+/// refresh, then the resolver's counter deltas.
+fn apply_inbox(ctx: Ctx, core: &mut CoreState, msg: &ResolvedMsg, obs: &mut dyn ShardObserver) {
+    for &line in &msg.invals {
         core.ev_buf.clear();
         let mut removed = 0u32;
         let mut off = 0;
@@ -321,13 +661,22 @@ fn run_epoch(ctx: Ctx, core: &mut CoreState, obs: &mut dyn ShardObserver) {
             obs.coherence_invalidation(core.id, line, removed, &core.ev_buf);
         }
     }
-    // Then the global shared-L3 event list: every core applies the same
-    // list, so shared-slot filter state is identical on all cores.
-    let events = std::mem::replace(&mut core.inbox_events, Arc::new(Vec::new()));
-    core.mnm.observe_events(&events);
-    let probes = std::mem::take(&mut core.inbox_probes);
-    core.mnm.note_probes(&probes);
+    core.mnm.absorb_resolution(&msg.events, &msg.probes);
+    let d = &msg.delta;
+    core.report.l3_requests += d.l3_requests;
+    core.report.l3_hits += d.l3_hits;
+    core.report.l3_misses += d.l3_misses;
+    core.report.l3_bypasses += d.l3_bypasses;
+    core.report.stale_bypass_rescues += d.stale_bypass_rescues;
+    core.report.unsound_verdicts += d.unsound_verdicts;
+    core.report.cycles += d.cycles;
+    core.report.store_lines_published += d.store_lines_published;
+}
 
+/// One core's compute phase: run up to `ctx.epoch` accesses on private
+/// state, queuing shared-L3 requests and published store lines into the
+/// epoch's outbox.
+fn run_epoch_compute(ctx: Ctx, core: &mut CoreState, obs: &mut dyn ShardObserver) -> OutMsg {
     for _ in 0..ctx.epoch {
         let Some(&access) = core.stream.get(core.pos) else {
             break;
@@ -352,120 +701,150 @@ fn run_epoch(ctx: Ctx, core: &mut CoreState, obs: &mut dyn ShardObserver) {
                 .push(L3Request { access, bypass_l3: verdict.contains(ctx.l3_template_id) });
         }
     }
+    core.store_seen.clear();
+    OutMsg {
+        requests: std::mem::take(&mut core.pending),
+        stores: std::mem::take(&mut core.store_lines),
+        exhausted: core.pos >= core.stream.len(),
+    }
 }
 
-/// The serial barrier phase: resolve every queued L3 request in
-/// core-major program order, then fill the per-core inboxes. Returns
-/// true when the whole simulation has drained.
-fn resolve_barrier(
+/// The serial resolution phase: resolve every queued L3 request in
+/// core-major program order through the hierarchy's batched
+/// [`run_requests`](Hierarchy::run_requests) walk, then package per-core
+/// results (invalidations, the global event list, probe records, counter
+/// deltas) for application two epochs after the requests were issued.
+fn resolve_round(
     ctx: Ctx,
-    cores: &[Mutex<CoreState>],
-    shared: &mut SharedState,
+    outs: Vec<OutMsg>,
+    rs: &mut ResolverState,
     obs: &mut dyn ShardObserver,
-) -> bool {
-    shared.placed.clear();
-    shared.epochs += 1;
+) -> Vec<ResolvedMsg> {
+    let t0 = Instant::now();
+    let n = outs.len();
+    // Rotate the rescue window: this round's verdicts were issued
+    // against the image two rounds back, so placements from the previous
+    // round are still invisible to them.
+    std::mem::swap(&mut rs.placed_prev, &mut rs.placed_cur);
+    rs.placed_cur.clear();
     let l3_sid = StructureId::new(0);
     let mut global_events: Vec<CacheEvent> = Vec::new();
     let mut victims: Vec<u64> = Vec::new();
     let mut victim_seen: HashSet<u64> = HashSet::new();
-    let mut store_pub: Vec<Vec<u64>> = Vec::with_capacity(cores.len());
-    let mut probes_out: Vec<Vec<ProbeRecord>> = (0..cores.len()).map(|_| Vec::new()).collect();
+    let mut store_pub: Vec<Vec<u64>> = Vec::with_capacity(n);
+    let mut probes_out: Vec<Vec<ProbeRecord>> = (0..n).map(|_| Vec::new()).collect();
+    let mut deltas: Vec<ResolveDelta> = vec![ResolveDelta::default(); n];
 
-    for (ci, m) in cores.iter().enumerate() {
-        let mut core = m.lock().unwrap();
-        let reqs = std::mem::take(&mut core.pending);
-        for req in reqs {
-            core.report.l3_requests += 1;
-            let resident = shared.l3.contains(l3_sid, req.access.addr);
-            let line = req.access.addr & !(ctx.l3_block_bytes - 1);
-            let mut bypass = BypassSet::none();
-            let outcome = if req.bypass_l3 && !resident {
-                bypass.insert(l3_sid);
-                L3Outcome::Bypassed
-            } else if req.bypass_l3 && shared.placed.contains(&line) {
-                L3Outcome::Rescued
-            } else if req.bypass_l3 {
-                L3Outcome::Unsound
-            } else if resident {
-                L3Outcome::Hit
-            } else {
-                L3Outcome::Miss
-            };
-            let res = shared.l3.access_with_events(req.access, &bypass, &mut shared.scratch);
-            core.report.cycles += res.latency;
-            match outcome {
-                L3Outcome::Hit => core.report.l3_hits += 1,
-                L3Outcome::Miss => core.report.l3_misses += 1,
-                L3Outcome::Bypassed => core.report.l3_bypasses += 1,
-                L3Outcome::Rescued => {
-                    core.report.stale_bypass_rescues += 1;
-                    core.report.l3_hits += 1;
+    let ResolverState { l3, placed_cur, placed_prev, scratch, access_buf, .. } = rs;
+    for (ci, out) in outs.into_iter().enumerate() {
+        let reqs = out.requests;
+        let delta = &mut deltas[ci];
+        delta.l3_requests += reqs.len() as u64;
+        access_buf.clear();
+        access_buf.extend(reqs.iter().map(|r| r.access));
+        // `decide` and `observe` alternate strictly per request; the
+        // cursor advances in `observe` so both see the same index.
+        let cursor = std::cell::Cell::new(0usize);
+        let probes = &mut probes_out[ci];
+        l3.run_requests(
+            access_buf,
+            scratch,
+            |hier, access| {
+                let mut bypass = BypassSet::none();
+                if reqs[cursor.get()].bypass_l3 && !hier.contains(l3_sid, access.addr) {
+                    bypass.insert(l3_sid);
                 }
-                L3Outcome::Unsound => {
-                    core.report.unsound_verdicts += 1;
-                    core.report.l3_hits += 1;
-                }
-            }
-            obs.l3_resolution(ci, req.access, outcome);
-            for ev in shared.scratch.events() {
-                global_events.push(CacheEvent { structure: ctx.l3_template_id, ..*ev });
-                match ev.kind {
-                    EventKind::Placed => {
-                        shared.placed.insert(ev.block_base);
+                bypass
+            },
+            |access, res, scratch| {
+                let i = cursor.get();
+                cursor.set(i + 1);
+                let line = access.addr & !(ctx.l3_block_bytes - 1);
+                // Classify before absorbing this request's own events:
+                // the rescue window must not include the fill this very
+                // request is about to cause.
+                let outcome = if res.bypassed > 0 {
+                    L3Outcome::Bypassed
+                } else if reqs[i].bypass_l3 {
+                    if placed_cur.contains(&line) || placed_prev.contains(&line) {
+                        L3Outcome::Rescued
+                    } else {
+                        L3Outcome::Unsound
                     }
-                    EventKind::Replaced => {
-                        if victim_seen.insert(ev.block_base) {
-                            victims.push(ev.block_base);
+                } else if res.misses == 0 {
+                    L3Outcome::Hit
+                } else {
+                    L3Outcome::Miss
+                };
+                delta.cycles += res.latency;
+                match outcome {
+                    L3Outcome::Hit => delta.l3_hits += 1,
+                    L3Outcome::Miss => delta.l3_misses += 1,
+                    L3Outcome::Bypassed => delta.l3_bypasses += 1,
+                    L3Outcome::Rescued => {
+                        delta.stale_bypass_rescues += 1;
+                        delta.l3_hits += 1;
+                    }
+                    L3Outcome::Unsound => {
+                        delta.unsound_verdicts += 1;
+                        delta.l3_hits += 1;
+                    }
+                }
+                obs.l3_resolution(ci, access, outcome);
+                for ev in scratch.events() {
+                    global_events.push(CacheEvent { structure: ctx.l3_template_id, ..*ev });
+                    match ev.kind {
+                        EventKind::Placed => {
+                            placed_cur.insert(ev.block_base);
                         }
+                        EventKind::Replaced => {
+                            if victim_seen.insert(ev.block_base) {
+                                victims.push(ev.block_base);
+                            }
+                        }
+                        EventKind::Invalidated => {}
                     }
-                    EventKind::Invalidated => {}
                 }
-            }
-            for p in shared.scratch.probes() {
-                probes_out[ci].push(ProbeRecord { structure: ctx.l3_template_id, ..*p });
-            }
-        }
-        let published = std::mem::take(&mut core.store_lines);
-        core.store_seen.clear();
-        core.report.store_lines_published += published.len() as u64;
-        store_pub.push(published);
+                for p in scratch.probes() {
+                    probes.push(ProbeRecord { structure: ctx.l3_template_id, ..*p });
+                }
+            },
+        );
+        deltas[ci].store_lines_published += out.stores.len() as u64;
+        store_pub.push(out.stores);
     }
-    obs.l3_events(&global_events);
 
-    // Distribute: L3 victims invalidate every core's private copies;
-    // store lines invalidate every *other* core's.
+    // Package per-core results: L3 victims invalidate every core's
+    // private copies; store lines invalidate every *other* core's.
     let events = Arc::new(global_events);
-    let mut all_done = true;
-    for (ci, m) in cores.iter().enumerate() {
-        let mut core = m.lock().unwrap();
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut invals: Vec<u64> = Vec::new();
-        for &v in &victims {
-            if seen.insert(v) {
-                invals.push(v);
-            }
-        }
-        for (cj, lines) in store_pub.iter().enumerate() {
-            if cj == ci {
-                continue;
-            }
-            for &l in lines {
-                if seen.insert(l) {
-                    invals.push(l);
+    let msgs = (0..n)
+        .map(|ci| {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut invals: Vec<u64> = Vec::new();
+            for &v in &victims {
+                if seen.insert(v) {
+                    invals.push(v);
                 }
             }
-        }
-        let busy = core.pos < core.stream.len()
-            || !invals.is_empty()
-            || !events.is_empty()
-            || !probes_out[ci].is_empty();
-        core.inbox_invals = invals;
-        core.inbox_events = events.clone();
-        core.inbox_probes = std::mem::take(&mut probes_out[ci]);
-        if busy {
-            all_done = false;
-        }
-    }
-    all_done
+            for (cj, lines) in store_pub.iter().enumerate() {
+                if cj == ci {
+                    continue;
+                }
+                for &l in lines {
+                    if seen.insert(l) {
+                        invals.push(l);
+                    }
+                }
+            }
+            ResolvedMsg {
+                invals,
+                events: events.clone(),
+                probes: std::mem::take(&mut probes_out[ci]),
+                delta: deltas[ci],
+                stop: false,
+            }
+        })
+        .collect();
+    rs.resolve_nanos += elapsed_nanos(t0);
+    msgs
 }

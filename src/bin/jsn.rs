@@ -68,9 +68,9 @@ fn print_help() {
          jsn coverage <app> [LABEL...]\n  jsn trace <app> -o FILE [-n N]\n  \
          jsn diff <a.json> <b.json> [--tol X]\n  \
          jsn check [--seeds N] [--len N] [--filter LABEL] [--gen G] [--seed S] [--json] [-o FILE]\n  \
-         jsn shard [--app NAME] [--cores N] [-n N] [--epoch N] [--sharing R]\n            \
-         [--config LABEL] [--seed S] [--single] [--json] [--bench]\n            \
-         [--check [--quick] [--workload W]]\n\
+         jsn shard [--app NAME] [--cores N] [-n N] [--epoch N|auto] [--sharing R]\n            \
+         [--config LABEL] [--seed S] [--pipeline on|off] [--single] [--json]\n            \
+         [--bench] [--check [--quick] [--workload W]]\n\
          \n\
          Labels: Baseline, Perfect, HMNM1..4, TMNM_<b>x<r>, CMNM_<k>_<m>,\n\
          RMNM_<blocks>_<assoc>, SMNM_<w>x<r>, BLOOM_<b>x<k>.\n\
@@ -94,11 +94,17 @@ fn print_help() {
          private L1/L2 + MNM filters over one shared L3, with cross-core\n\
          store and L3-victim invalidations driven through the filter event\n\
          stream. Defaults come from JSN_CORES/JSN_EPOCH/JSN_SHARING. The\n\
-         parallel driver (one thread per core) is bit-identical to\n\
-         `--single`; `--bench` times both and verifies that identity;\n\
-         `--check` sweeps adversarial sharing workloads (pingpong,\n\
-         falsesharing, evictionrace, profile) across every filter family\n\
-         under a lockstep multi-core reference model.\n\
+         default engine is pipelined (cores compute epoch E+1 while a\n\
+         resolver thread drains epoch E); `--pipeline off` selects the\n\
+         stop-the-world barrier baseline and `--single` the single-threaded\n\
+         reference — all three are bit-identical by contract. `--epoch auto`\n\
+         calibrates the epoch length before the run; `--bench` times all\n\
+         engines over identical streams and verifies identity; `--check`\n\
+         sweeps adversarial sharing workloads (pingpong, falsesharing,\n\
+         evictionrace, profile) across every filter family under a lockstep\n\
+         multi-core reference model, re-verifying engine identity per\n\
+         scenario. JSON output includes per-phase timing (compute, resolve,\n\
+         stall nanos and resolver occupancy).\n\
          \n\
          serve runs a long-lived trace-stream replay service:\n  \
          jsn serve [--listen EP] [--max-sessions N] [--queue FRAMES]\n            \
@@ -626,12 +632,21 @@ fn cmd_shard(args: &[String]) -> ExitCode {
 fn run_shard(args: &[String]) -> Result<ExitCode, String> {
     use just_say_no::mnm_check::{run_multicore_scenario, run_multicore_suite, MulticoreScenario};
     use just_say_no::mnm_core::MnmConfig;
-    use just_say_no::mnm_shard::{sharded_streams, ShardConfig, ShardedSim};
+    use just_say_no::mnm_shard::{
+        autotune_epoch, sharded_streams, Engine, ShardConfig, ShardedSim,
+    };
     use just_say_no::trace_synth::sharing::SharingSpec;
 
     let env_num = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
     let cores = parse_n(args, "--cores", env_num("JSN_CORES").unwrap_or(4))? as usize;
-    let epoch = parse_n(args, "--epoch", env_num("JSN_EPOCH").unwrap_or(2048))? as usize;
+    // `--epoch` accepts a length or `auto` (calibrate before the run).
+    let epoch_arg =
+        parse_opt(args, "--epoch").map(str::to_owned).or_else(|| std::env::var("JSN_EPOCH").ok());
+    let epoch_auto = epoch_arg.as_deref() == Some("auto");
+    let epoch = match epoch_arg.as_deref() {
+        None | Some("auto") => 2048,
+        Some(text) => parse_flag_num(text, "--epoch")?,
+    };
     let sharing: f64 = match parse_opt(args, "--sharing") {
         Some(text) => text.parse().map_err(|_| format!("--sharing {text}: expected a ratio"))?,
         None => std::env::var("JSN_SHARING").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25),
@@ -643,8 +658,19 @@ fn run_shard(args: &[String]) -> Result<ExitCode, String> {
     };
     let json = args.iter().any(|a| a == "--json");
     let single = args.iter().any(|a| a == "--single");
+    let engine = match parse_opt(args, "--pipeline") {
+        Some("on") | None if !single => Engine::Pipelined,
+        Some("off") if !single => Engine::Barrier,
+        None | Some("on") | Some("off") => Engine::Single,
+        Some(other) => return Err(format!("--pipeline {other}: expected `on` or `off`")),
+    };
 
     if args.iter().any(|a| a == "--check") {
+        if epoch_auto {
+            return Err(
+                "--epoch auto is not supported with --check (scenarios pin the epoch)".to_owned()
+            );
+        }
         // Replay mode (a failure's reproducer line) or the full sweep.
         let failures = if let Some(w) = parse_opt(args, "--workload") {
             let workload = w.parse_workload()?;
@@ -703,48 +729,80 @@ fn run_shard(args: &[String]) -> Result<ExitCode, String> {
         line_bytes: config.l3.block_bytes,
         seed,
     };
-    let build = || {
-        let streams = sharded_streams(&profile, &spec, n, config.l1.block_bytes);
-        ShardedSim::new(config.clone(), streams)
-    };
+    let streams = sharded_streams(&profile, &spec, n, config.l1.block_bytes);
+    if epoch_auto {
+        // Calibrate, then run every engine with the chosen concrete epoch
+        // (so `--epoch auto` preserves the engine-identity contract).
+        let (chosen, points) = autotune_epoch(&config, &streams);
+        config.epoch = chosen;
+        eprintln!(
+            "epoch auto: chose {chosen} ({})",
+            points
+                .iter()
+                .map(|p| format!("{}:{:.2}", p.epoch, p.occupancy))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    let epoch = config.epoch;
+    let build = || ShardedSim::new(config.clone(), streams.clone());
 
     if args.iter().any(|a| a == "--bench") {
-        // Throughput benchmark: single-threaded reference first, then
-        // the parallel driver over identical streams — and the two
-        // reports must be bit-identical (the race-freedom check).
-        let t0 = std::time::Instant::now();
-        let baseline = build().run_single_threaded();
-        let t_single = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let parallel = build().run();
-        let t_parallel = t1.elapsed();
-        if parallel != baseline {
-            eprintln!("shard bench FAILED: parallel run diverged from single-threaded replay");
+        // Throughput benchmark: all three engines over identical streams,
+        // and every report must be bit-identical (the race-freedom check).
+        let run = |engine: Engine| {
+            let mut sim = build();
+            let t = std::time::Instant::now();
+            let report = sim.run_engine(engine);
+            (report, t.elapsed())
+        };
+        let (baseline, t_single) = run(Engine::Single);
+        let (barrier, t_barrier) = run(Engine::Barrier);
+        let (pipelined, t_pipelined) = run(Engine::Pipelined);
+        if barrier != baseline || pipelined != baseline {
+            eprintln!("shard bench FAILED: a parallel engine diverged from single-threaded replay");
             return Ok(ExitCode::FAILURE);
         }
         let total = baseline.total_accesses();
         let rate = |d: std::time::Duration| total as f64 / d.as_secs_f64() / 1e6;
+        let speedup = |d: std::time::Duration| t_single.as_secs_f64() / d.as_secs_f64();
         println!(
-            "shard bench: {cores} cores, {total} accesses, {app} ({label}, sharing {sharing})\n  \
-             single-threaded: {:>8.2} Maccs/s\n  parallel:        {:>8.2} Maccs/s  \
-             (speedup {:.2}x)\n  reports identical: yes",
+            "shard bench: {cores} cores, {total} accesses, {app} ({label}, sharing {sharing}, \
+             epoch {epoch})\n  \
+             single:    {:>8.2} Maccs/s\n  \
+             barrier:   {:>8.2} Maccs/s  (speedup {:.2}x)\n  \
+             pipelined: {:>8.2} Maccs/s  (speedup {:.2}x, resolver occupancy {:.0}%)\n  \
+             reports identical: yes",
             rate(t_single),
-            rate(t_parallel),
-            t_single.as_secs_f64() / t_parallel.as_secs_f64()
+            rate(t_barrier),
+            speedup(t_barrier),
+            rate(t_pipelined),
+            speedup(t_pipelined),
+            100.0 * pipelined.timing.resolver_occupancy(),
         );
         return Ok(ExitCode::SUCCESS);
     }
 
     let mut sim = build();
-    let report = if single { sim.run_single_threaded() } else { sim.run() };
+    let report = sim.run_engine(engine);
     if json {
         print!("{}", report.to_json(label, cores, epoch, sharing));
     } else {
         let l3 = &report.l3.structures[0];
         println!(
             "shard: {cores} cores x {n} accesses of {app} ({label}, sharing {sharing}, \
-             epoch {epoch}, {} epochs run)",
-            report.epochs
+             epoch {epoch}, {} epochs run, {} engine)",
+            report.epochs, report.timing.engine
+        );
+        let t = &report.timing;
+        println!(
+            "  timing: {:.1} ms wall, {:.1} ms compute, {:.1} ms resolve, {:.1} ms stall, \
+             resolver occupancy {:.0}%",
+            t.wall_nanos as f64 / 1e6,
+            t.compute_nanos as f64 / 1e6,
+            t.resolve_nanos as f64 / 1e6,
+            t.stall_nanos as f64 / 1e6,
+            100.0 * t.resolver_occupancy()
         );
         println!(
             "  shared L3: {} probes ({} hits, {} misses), {} bypassed, {} fills, \
