@@ -17,15 +17,17 @@
 //!
 //! Module map:
 //!
-//! * [`protocol`] — wire format: hello, frames, bounded decode
+//! * [`protocol`] — wire format: hello, CRC-framed records, bounded decode
 //! * [`session`] — per-connection replay state ([`SessionCore`])
 //! * [`metrics`] — shared counters + scrape-page rendering
-//! * [`server`] — accept loop, back-pressure, graceful shutdown
-//! * [`slam`] — load generator and verdict verification
+//! * [`server`] — accept loop, back-pressure, resume parking, shedding
+//! * [`slam`] — load generator: retry/resume client + verification
+//! * [`chaos`] — deterministic network-fault proxy (`jsn chaos`)
 //! * [`signal`] — std-only SIGINT/SIGTERM flag
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -33,6 +35,7 @@ pub mod session;
 pub mod signal;
 pub mod slam;
 
+pub use chaos::{ChaosHandle, ChaosOptions, ChaosPlan, ChaosProxy};
 pub use metrics::{Registry, SessionGauge};
 pub use protocol::{FrameType, SessionStatsWire, WireError, MAX_FRAME_BYTES, VERSION};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle};

@@ -128,6 +128,22 @@ pub struct Registry {
     pub sessions_failed: CachePadded<AtomicU64>,
     /// Sessions currently live.
     pub sessions_active: CachePadded<AtomicU64>,
+    /// Hellos shed by admission control (queue-depth watermark).
+    pub sessions_shed: CachePadded<AtomicU64>,
+    /// Sessions parked for resume after a retryable wire failure.
+    pub sessions_parked: CachePadded<AtomicU64>,
+    /// Parked sessions picked back up by a reconnecting client.
+    pub sessions_resumed: CachePadded<AtomicU64>,
+    /// Parked sessions dropped (resume window expired or table full).
+    pub sessions_expired: CachePadded<AtomicU64>,
+    /// Frames rejected for a CRC mismatch (wire corruption detected).
+    pub crc_errors: CachePadded<AtomicU64>,
+    /// `Records` frames applied to a session (first delivery).
+    pub frames_applied: CachePadded<AtomicU64>,
+    /// Duplicate `Records` frames re-acked without replay.
+    pub frames_replayed: CachePadded<AtomicU64>,
+    /// Frames currently queued between readers and workers (gauge).
+    pub queue_depth: CachePadded<AtomicU64>,
     /// Bytes read off session sockets.
     pub bytes_in: CachePadded<AtomicU64>,
     /// `Records` frames processed.
@@ -178,6 +194,14 @@ impl Registry {
             sessions_completed: CachePadded::new(AtomicU64::new(0)),
             sessions_failed: CachePadded::new(AtomicU64::new(0)),
             sessions_active: CachePadded::new(AtomicU64::new(0)),
+            sessions_shed: CachePadded::new(AtomicU64::new(0)),
+            sessions_parked: CachePadded::new(AtomicU64::new(0)),
+            sessions_resumed: CachePadded::new(AtomicU64::new(0)),
+            sessions_expired: CachePadded::new(AtomicU64::new(0)),
+            crc_errors: CachePadded::new(AtomicU64::new(0)),
+            frames_applied: CachePadded::new(AtomicU64::new(0)),
+            frames_replayed: CachePadded::new(AtomicU64::new(0)),
+            queue_depth: CachePadded::new(AtomicU64::new(0)),
             bytes_in: CachePadded::new(AtomicU64::new(0)),
             frames_in: CachePadded::new(AtomicU64::new(0)),
             records_in: CachePadded::new(AtomicU64::new(0)),
@@ -240,6 +264,14 @@ impl Registry {
             ("jsn_sessions_completed_total", &self.sessions_completed),
             ("jsn_sessions_failed_total", &self.sessions_failed),
             ("jsn_sessions_active", &self.sessions_active),
+            ("jsn_sessions_shed_total", &self.sessions_shed),
+            ("jsn_sessions_parked", &self.sessions_parked),
+            ("jsn_sessions_resumed_total", &self.sessions_resumed),
+            ("jsn_sessions_expired_total", &self.sessions_expired),
+            ("jsn_crc_errors_total", &self.crc_errors),
+            ("jsn_frames_applied_total", &self.frames_applied),
+            ("jsn_frames_replayed_total", &self.frames_replayed),
+            ("jsn_queue_depth", &self.queue_depth),
             ("jsn_bytes_in_total", &self.bytes_in),
             ("jsn_frames_in_total", &self.frames_in),
             ("jsn_records_in_total", &self.records_in),

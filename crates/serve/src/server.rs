@@ -1,5 +1,6 @@
 //! The `jsn serve` daemon: a threaded TCP / unix-socket server that
-//! runs one [`SessionCore`] per connection.
+//! runs one [`SessionCore`] per *session* — which, since protocol v2,
+//! may span several connections.
 //!
 //! ## Threading and back-pressure
 //!
@@ -9,11 +10,51 @@
 //! worker falls behind, the channel fills, the reader blocks, the
 //! kernel receive buffer fills, and the client's writes stall — classic
 //! TCP back-pressure with a hard bound on per-session buffered memory
-//! (`queue_frames × max_frame_bytes` plus one in-flight frame).
+//! (`queue_frames × max_frame_bytes` plus one in-flight frame). The
+//! aggregate queued-frame count is exported as the `jsn_queue_depth`
+//! gauge, and a hello arriving while the gauge is at or above
+//! `shed_watermark` is **shed**: answered `STATUS_BUSY` with a
+//! `retry_after_ms=` hint instead of admitted to a queue that is
+//! already behind.
 //!
 //! Global memory is bounded by `max_sessions`: a hello past the cap is
-//! answered with `STATUS_BUSY` and the connection closed. A client that
-//! makes no byte progress for `stall_timeout` is evicted.
+//! answered with `STATUS_BUSY` and the connection closed.
+//!
+//! ## Deadlines: stall vs idle
+//!
+//! Two distinct read deadlines protect worker slots:
+//!
+//! * **stall** (`stall_timeout`) — the peer started a frame (or hello)
+//!   and then made no byte progress. Always short: a wedged or
+//!   maliciously slow peer.
+//! * **idle** (`idle_timeout`) — the peer is between frames and simply
+//!   sent nothing. May be longer: a client computing its next batch.
+//!
+//! Either deadline evicts the session: the slot is freed, the eviction
+//! counter increments exactly once, and the session state is dropped —
+//! an idle peer is indistinguishable from a dead one, so its state is
+//! not worth parking.
+//!
+//! ## Resume and exactly-once accounting
+//!
+//! Every accepted session is issued a token; when a connection dies a
+//! *retryable* death — reset, torn frame, CRC mismatch, corrupted
+//! header — the session state (core, highest applied sequence number,
+//! a bounded ring of recent summaries) is **parked** for up to
+//! `resume_window`. A client reconnecting with the token gets back
+//! `last_acked` in the hello reply and replays only frames after it;
+//! frames at or below `last_acked` are re-acked from the summary ring
+//! *without touching the replay state*. Applied and replayed frames are
+//! counted separately, and the invariant
+//! `frames_in == frames_applied + frames_replayed` is the
+//! reconciliation check the drain snapshot (and the chaos soak's
+//! `--verify`) relies on: every received frame was applied exactly once
+//! or acknowledged as a duplicate, never both, never neither.
+//!
+//! Retryable deaths park; *authenticated* misbehavior — a frame that
+//! passed its CRC but carries a sequence gap, ragged records, or a
+//! frame type invalid for its direction — fails the session outright,
+//! because a checksummed bad frame is a client bug, not wire damage.
 //!
 //! ## Shutdown
 //!
@@ -22,22 +63,23 @@
 //! `server shutting down` in an `Error` frame otherwise, and the final
 //! metrics page is flushed through the crash-safe `fsio` writer.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cache_sim::{Hierarchy, HierarchyConfig, StructureStats};
 
 use crate::metrics::{Registry, SessionGauge};
 use crate::protocol::{
-    encode_frame, encode_hello_reply, parse_frame_header, FrameHeader, FrameType, WireError,
-    FRAME_HEADER_BYTES, MAGIC, MAX_CONFIG_BYTES, MAX_FRAME_BYTES, STATUS_BUSY, STATUS_OK,
-    STATUS_REJECTED, VERSION,
+    encode_frame, encode_hello_reply, encode_hello_reply_ok, parse_frame_header,
+    retry_after_detail, verify_frame_crc, FrameHeader, FrameType, WireError, FRAME_HEADER_BYTES,
+    MAGIC, MAX_CONFIG_BYTES, MAX_FRAME_BYTES, STATUS_BUSY, STATUS_REJECTED, VERSION,
 };
 use crate::session::SessionCore;
 use crate::signal;
@@ -45,6 +87,11 @@ use crate::signal;
 /// Socket poll tick: reads time out this often so loops can check the
 /// shutdown flag and stall budget.
 const TICK: Duration = Duration::from_millis(50);
+
+/// How many recent batch summaries a session keeps for re-acking
+/// duplicate frames after a resume. Must exceed any sane client
+/// pipeline window (slam's default is 4).
+const SUMMARY_RING: usize = 64;
 
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,8 +136,21 @@ pub struct ServerConfig {
     pub queue_frames: usize,
     /// Maximum frame payload the server will accept.
     pub max_frame_bytes: u32,
-    /// Evict a session making no byte progress for this long.
+    /// Evict a session making no byte progress *mid-frame* for this long.
     pub stall_timeout: Duration,
+    /// Evict a session sending no new frame for this long.
+    pub idle_timeout: Duration,
+    /// How long a parked session survives awaiting resume.
+    pub resume_window: Duration,
+    /// Maximum parked sessions; past it the oldest (finished first) are
+    /// expired to make room.
+    pub max_parked: usize,
+    /// Shed new hellos while `jsn_queue_depth` ≥ this watermark
+    /// (`None` disables shedding; `Some(0)` sheds everything — useful
+    /// in tests).
+    pub shed_watermark: Option<u64>,
+    /// The `retry_after_ms=` hint attached to BUSY replies.
+    pub retry_after_ms: u64,
     /// How long shutdown waits for live sessions to finish.
     pub drain: Duration,
     /// Where to flush the final metrics snapshot on shutdown.
@@ -104,6 +164,11 @@ impl Default for ServerConfig {
             queue_frames: 32,
             max_frame_bytes: MAX_FRAME_BYTES,
             stall_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            resume_window: Duration::from_secs(60),
+            max_parked: 256,
+            shed_watermark: None,
+            retry_after_ms: 200,
             drain: Duration::from_secs(5),
             snapshot_path: None,
         }
@@ -143,6 +208,16 @@ impl Conn {
         let _ = match self {
             Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
             Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    /// Half-close: send FIN, keep the read side open. Lets a relay
+    /// propagate end-of-stream downstream without tearing down the
+    /// opposite direction of the same connection.
+    pub(crate) fn shutdown_write(&self) {
+        let _ = match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
         };
     }
 }
@@ -193,6 +268,132 @@ impl Listener {
     }
 }
 
+/// The resumable state of one logical session, carried across
+/// connections.
+struct SessionState {
+    /// The filter preset label the session was created with.
+    label: String,
+    /// The replay state itself.
+    core: SessionCore,
+    /// Highest `Records` sequence number applied.
+    last_acked: u64,
+    /// Recent `(seq, summary)` pairs for re-acking duplicates.
+    ring: VecDeque<(u64, [u8; 48])>,
+    /// The encoded final `Stats` payload, once `Finish` has been
+    /// served — kept so a client that lost the reply can ask again.
+    finished: Option<Vec<u8>>,
+}
+
+impl SessionState {
+    fn new(label: String, core: SessionCore) -> SessionState {
+        SessionState { label, core, last_acked: 0, ring: VecDeque::new(), finished: None }
+    }
+
+    fn remember_summary(&mut self, seq: u64, summary: [u8; 48]) {
+        if self.ring.len() >= SUMMARY_RING {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((seq, summary));
+    }
+
+    fn recall_summary(&self, seq: u64) -> [u8; 48] {
+        // A duplicate older than the ring can only come from a client
+        // rewinding further than it ever had in flight; ack it with a
+        // zero-count summary — summaries are advisory, the final
+        // `Stats` frame is the authoritative tally.
+        self.ring
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, bytes)| *bytes)
+            .unwrap_or_else(|| crate::protocol::encode_summary(seq, [0; 5]))
+    }
+}
+
+struct Parked {
+    state: SessionState,
+    parked_at: Instant,
+}
+
+/// The parked-session table: token → resumable state, bounded in count
+/// and in age.
+struct Parking {
+    table: Mutex<HashMap<u64, Parked>>,
+    next_token: AtomicU64,
+}
+
+fn lock_table(m: &Mutex<HashMap<u64, Parked>>) -> std::sync::MutexGuard<'_, HashMap<u64, Parked>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Parking {
+    fn new() -> Parking {
+        Parking { table: Mutex::new(HashMap::new()), next_token: AtomicU64::new(1) }
+    }
+
+    /// A fresh nonzero session token.
+    fn issue_token(&self) -> u64 {
+        let t = splitmix64(self.next_token.fetch_add(1, Ordering::Relaxed));
+        if t == 0 {
+            1
+        } else {
+            t
+        }
+    }
+
+    /// Drop entries older than `window`, charging `sessions_expired`.
+    fn purge(&self, window: Duration, registry: &Registry) {
+        let mut table = lock_table(&self.table);
+        let before = table.len();
+        table.retain(|_, p| p.parked_at.elapsed() <= window);
+        let dropped = before - table.len();
+        if dropped > 0 {
+            registry.sessions_expired.fetch_add(dropped as u64, Ordering::Relaxed);
+            registry.sessions_parked.fetch_sub(dropped as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Park `state` under `token`. A full table expires finished
+    /// tombstones first, then the oldest live entry.
+    fn park(&self, token: u64, state: SessionState, config: &ServerConfig, registry: &Registry) {
+        self.purge(config.resume_window, registry);
+        let mut table = lock_table(&self.table);
+        while table.len() >= config.max_parked.max(1) {
+            let victim = table
+                .iter()
+                .min_by_key(|(_, p)| (p.state.finished.is_none(), p.parked_at))
+                .map(|(t, _)| *t);
+            match victim {
+                Some(t) => {
+                    table.remove(&t);
+                    registry.sessions_expired.fetch_add(1, Ordering::Relaxed);
+                    registry.sessions_parked.fetch_sub(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        table.insert(token, Parked { state, parked_at: Instant::now() });
+        registry.sessions_parked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take the parked state for `token`, if it is still within the
+    /// resume window.
+    fn resume(&self, token: u64, window: Duration, registry: &Registry) -> Option<SessionState> {
+        self.purge(window, registry);
+        let taken = lock_table(&self.table).remove(&token);
+        if taken.is_some() {
+            registry.sessions_parked.fetch_sub(1, Ordering::Relaxed);
+        }
+        taken.map(|p| p.state)
+    }
+}
+
 /// A handle for stopping a running server and reading its metrics.
 #[derive(Clone)]
 pub struct ServerHandle {
@@ -218,6 +419,7 @@ pub struct Server {
     endpoint: Endpoint,
     config: ServerConfig,
     registry: Arc<Registry>,
+    parking: Arc<Parking>,
     shutdown: Arc<AtomicBool>,
     next_session: Arc<AtomicU64>,
 }
@@ -241,6 +443,7 @@ impl Server {
             endpoint,
             config,
             registry: Arc::new(Registry::new(&hierarchy)),
+            parking: Arc::new(Parking::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             next_session: Arc::new(AtomicU64::new(1)),
         })
@@ -284,11 +487,12 @@ impl Server {
             match self.listener.accept() {
                 Ok(conn) => {
                     let registry = Arc::clone(&self.registry);
+                    let parking = Arc::clone(&self.parking);
                     let shutdown = Arc::clone(&self.shutdown);
                     let config = self.config.clone();
                     let id = self.next_session.fetch_add(1, Ordering::Relaxed);
                     workers.push(std::thread::spawn(move || {
-                        handle_connection(conn, id, &registry, &config, &shutdown);
+                        handle_connection(conn, id, &registry, &parking, &config, &shutdown);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -321,12 +525,16 @@ impl Server {
 }
 
 /// Read exactly `buf.len()` bytes, tolerating short reads and socket
-/// timeouts, charging bytes to the registry, respecting the stall
-/// budget and the shutdown flag.
+/// timeouts, charging bytes to the registry, respecting the shutdown
+/// flag and two progress budgets: `idle` (if set) bounds the wait for
+/// the *first* byte and times out as [`WireError::Idle`]; `stall`
+/// bounds every inter-byte gap after progress has started.
+#[allow(clippy::too_many_arguments)]
 fn read_exact_budget(
     conn: &mut Conn,
     buf: &mut [u8],
     stall: Duration,
+    idle: Option<Duration>,
     shutdown: &AtomicBool,
     registry: &Registry,
     clean_eof: bool,
@@ -356,8 +564,17 @@ fn read_exact_budget(
                 if shutdown.load(Ordering::SeqCst) || signal::requested() {
                     return Err(WireError::Shutdown);
                 }
-                if last_progress.elapsed() > stall {
-                    return Err(WireError::Stalled);
+                match idle {
+                    Some(budget) if filled == 0 => {
+                        if last_progress.elapsed() > budget {
+                            return Err(WireError::Idle);
+                        }
+                    }
+                    _ => {
+                        if last_progress.elapsed() > stall {
+                            return Err(WireError::Stalled);
+                        }
+                    }
                 }
             }
             Err(e) => return Err(WireError::Io(e.to_string())),
@@ -366,19 +583,31 @@ fn read_exact_budget(
     Ok(())
 }
 
-/// One frame off the wire.
+/// One frame off the wire, CRC-verified. The wait for the frame's first
+/// byte is bounded by `idle`, everything after by `stall`.
 fn read_frame(
     conn: &mut Conn,
     stall: Duration,
+    idle: Duration,
     shutdown: &AtomicBool,
     registry: &Registry,
     max_payload: u32,
 ) -> Result<(FrameHeader, Vec<u8>), WireError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
-    read_exact_budget(conn, &mut header, stall, shutdown, registry, true, "frame header")?;
+    read_exact_budget(
+        conn,
+        &mut header,
+        stall,
+        Some(idle),
+        shutdown,
+        registry,
+        true,
+        "frame header",
+    )?;
     let parsed = parse_frame_header(&header, max_payload)?;
     let mut payload = vec![0u8; parsed.payload_len as usize];
-    read_exact_budget(conn, &mut payload, stall, shutdown, registry, false, "frame payload")?;
+    read_exact_budget(conn, &mut payload, stall, None, shutdown, registry, false, "frame payload")?;
+    verify_frame_crc(&parsed, &payload)?;
     Ok((parsed, payload))
 }
 
@@ -425,17 +654,47 @@ enum ReaderMsg {
     Failed(WireError),
 }
 
-/// How a session ended, for the metrics counters.
-enum Outcome {
+/// How a session (this connection's slice of it) ended.
+enum SessionEnd {
+    /// `Finish` served for the first time: count a completion, park a
+    /// finished tombstone so a lost `Stats` reply can be re-served.
     Completed,
+    /// A finished tombstone re-served its `Stats`; nothing to recount.
+    ReCompleted,
+    /// Retryable wire failure: park the state for resume.
+    Parked,
+    /// Stall/idle deadline or shutdown drain: free the slot, drop the
+    /// state.
     Evicted,
+    /// Authenticated protocol violation: drop the state.
     Failed,
+}
+
+/// Is this reader error wire damage (parkable) rather than a deadline
+/// or an authenticated client bug?
+fn is_retryable(e: &WireError) -> bool {
+    matches!(
+        e,
+        WireError::Closed
+            | WireError::Torn { .. }
+            | WireError::Io(_)
+            | WireError::Crc { .. }
+            | WireError::BadFrameType(_)
+            | WireError::Oversize { .. }
+    )
+}
+
+fn reject(conn: &mut Conn, registry: &Registry, detail: &str) {
+    registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = write_with_timeouts(conn, &encode_hello_reply(STATUS_REJECTED, detail));
 }
 
 fn handle_connection(
     mut conn: Conn,
     id: u64,
     registry: &Arc<Registry>,
+    parking: &Arc<Parking>,
     config: &ServerConfig,
     shutdown: &Arc<AtomicBool>,
 ) {
@@ -450,6 +709,7 @@ fn handle_connection(
         &mut conn,
         &mut head,
         config.stall_timeout,
+        None,
         shutdown,
         registry,
         true,
@@ -464,21 +724,22 @@ fn handle_connection(
         return;
     }
     if head != MAGIC {
-        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = write_with_timeouts(
-            &mut conn,
-            &encode_hello_reply(STATUS_REJECTED, &WireError::BadMagic(head).to_string()),
-        );
+        reject(&mut conn, registry, &WireError::BadMagic(head).to_string());
         return;
     }
 
-    // Version + config label.
+    // Version + config-label length. Reading only these four bytes
+    // before the version check is what keeps mismatches clean in both
+    // directions: every protocol version's hello starts this way, so a
+    // v1 client is answered with a well-formed versioned rejection
+    // instead of a decode failure — and never has its (shorter) hello
+    // over-read.
     let mut fixed = [0u8; 4];
     if read_exact_budget(
         &mut conn,
         &mut fixed,
         config.stall_timeout,
+        None,
         shutdown,
         registry,
         false,
@@ -493,27 +754,11 @@ fn handle_connection(
     let version = u16::from_le_bytes([fixed[0], fixed[1]]);
     let config_len = u16::from_le_bytes([fixed[2], fixed[3]]) as usize;
     if version != VERSION {
-        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = write_with_timeouts(
-            &mut conn,
-            &encode_hello_reply(
-                STATUS_REJECTED,
-                &WireError::BadVersion { got: version }.to_string(),
-            ),
-        );
+        reject(&mut conn, registry, &WireError::BadVersion { got: version }.to_string());
         return;
     }
     if config_len > MAX_CONFIG_BYTES {
-        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = write_with_timeouts(
-            &mut conn,
-            &encode_hello_reply(
-                STATUS_REJECTED,
-                &format!("config label of {config_len} bytes is too long"),
-            ),
-        );
+        reject(&mut conn, registry, &format!("config label of {config_len} bytes is too long"));
         return;
     }
     let mut label_bytes = vec![0u8; config_len];
@@ -521,6 +766,7 @@ fn handle_connection(
         &mut conn,
         &mut label_bytes,
         config.stall_timeout,
+        None,
         shutdown,
         registry,
         false,
@@ -533,26 +779,67 @@ fn handle_connection(
         return;
     }
     let Ok(label) = String::from_utf8(label_bytes) else {
-        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = write_with_timeouts(
-            &mut conn,
-            &encode_hello_reply(STATUS_REJECTED, "config label is not utf-8"),
-        );
+        reject(&mut conn, registry, "config label is not utf-8");
         return;
     };
+    let mut token_bytes = [0u8; 8];
+    if read_exact_budget(
+        &mut conn,
+        &mut token_bytes,
+        config.stall_timeout,
+        None,
+        shutdown,
+        registry,
+        false,
+        "hello token",
+    )
+    .is_err()
+    {
+        registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let resume_token = u64::from_le_bytes(token_bytes);
 
-    // Build the session before claiming a slot, so a bad label never
-    // occupies one.
-    let core = match SessionCore::new(&label) {
-        Ok(core) => core,
-        Err(e) => {
-            registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = write_with_timeouts(&mut conn, &encode_hello_reply(STATUS_REJECTED, &e));
-            return;
+    let (token, state) = if resume_token != 0 {
+        // Resume: the client holds a token from an earlier connection.
+        match parking.resume(resume_token, config.resume_window, registry) {
+            Some(state) => (resume_token, state),
+            None => {
+                reject(&mut conn, registry, &WireError::BadToken.to_string());
+                return;
+            }
+        }
+    } else {
+        // Admission control: a queue already at the watermark means
+        // every admitted frame waits behind it — shed instead. Resumes
+        // are exempt: they were already admitted once and shedding
+        // them would strand parked state.
+        if let Some(watermark) = config.shed_watermark {
+            if registry.queue_depth.load(Ordering::Relaxed) >= watermark {
+                registry.sessions_shed.fetch_add(1, Ordering::Relaxed);
+                registry.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_with_timeouts(
+                    &mut conn,
+                    &encode_hello_reply(
+                        STATUS_BUSY,
+                        &retry_after_detail("server shedding load", config.retry_after_ms),
+                    ),
+                );
+                return;
+            }
+        }
+        // Build the session before claiming a slot, so a bad label
+        // never occupies one.
+        match SessionCore::new(&label) {
+            Ok(core) => (parking.issue_token(), SessionState::new(label.clone(), core)),
+            Err(e) => {
+                reject(&mut conn, registry, &e);
+                return;
+            }
         }
     };
+    let resumed = resume_token != 0;
 
     // Claim a session slot under the global cap.
     let claimed = registry
@@ -571,26 +858,59 @@ fn handle_connection(
             &mut conn,
             &encode_hello_reply(
                 STATUS_BUSY,
-                &format!("server at its {}-session cap", config.max_sessions),
+                &retry_after_detail(
+                    &format!("server at its {}-session cap", config.max_sessions),
+                    config.retry_after_ms,
+                ),
             ),
         );
+        if resumed {
+            // Don't strand the state the client will retry for.
+            parking.park(token, state, config, registry);
+        }
         return;
     }
     registry.sessions_accepted.fetch_add(1, Ordering::Relaxed);
-    if write_with_timeouts(&mut conn, &encode_hello_reply(STATUS_OK, "")).is_err() {
-        registry.sessions_failed.fetch_add(1, Ordering::Relaxed);
+    if resumed {
+        registry.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+    if write_with_timeouts(&mut conn, &encode_hello_reply_ok(token, state.last_acked)).is_err() {
+        // The reply never arrived; park so the token (already held by a
+        // resuming client) or nothing (a new client never learned the
+        // token) is recoverable. New-session state at this point is
+        // empty, so parking it is harmless either way.
+        if resumed {
+            parking.park(token, state, config, registry);
+        } else {
+            registry.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        }
         registry.sessions_active.fetch_sub(1, Ordering::SeqCst);
         return;
     }
 
-    let outcome = run_session(&mut conn, id, core, &label, registry, config, shutdown);
+    let was_finished = state.finished.is_some();
+    let (end, state) = run_session(&mut conn, id, state, registry, config, shutdown);
 
     registry.remove_session_gauge(id);
-    match outcome {
-        Outcome::Completed => registry.sessions_completed.fetch_add(1, Ordering::Relaxed),
-        Outcome::Evicted => registry.sessions_evicted.fetch_add(1, Ordering::Relaxed),
-        Outcome::Failed => registry.sessions_failed.fetch_add(1, Ordering::Relaxed),
-    };
+    match end {
+        SessionEnd::Completed => {
+            registry.sessions_completed.fetch_add(1, Ordering::Relaxed);
+            parking.park(token, state, config, registry);
+        }
+        SessionEnd::ReCompleted => {
+            debug_assert!(was_finished);
+            parking.park(token, state, config, registry);
+        }
+        SessionEnd::Parked => {
+            parking.park(token, state, config, registry);
+        }
+        SessionEnd::Evicted => {
+            registry.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        SessionEnd::Failed => {
+            registry.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     registry.sessions_active.fetch_sub(1, Ordering::SeqCst);
     conn.shutdown_both();
 }
@@ -598,12 +918,11 @@ fn handle_connection(
 fn run_session(
     conn: &mut Conn,
     id: u64,
-    mut core: SessionCore,
-    label: &str,
+    mut state: SessionState,
     registry: &Arc<Registry>,
     config: &ServerConfig,
     shutdown: &Arc<AtomicBool>,
-) -> Outcome {
+) -> (SessionEnd, SessionState) {
     let (tx, rx): (SyncSender<ReaderMsg>, Receiver<ReaderMsg>) =
         std::sync::mpsc::sync_channel(config.queue_frames.max(1));
 
@@ -611,23 +930,28 @@ fn run_session(
         Ok(c) => c,
         Err(e) => {
             let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
-            return Outcome::Failed;
+            return (SessionEnd::Failed, state);
         }
     };
     let reader = {
         let registry = Arc::clone(registry);
         let shutdown = Arc::clone(shutdown);
         let stall = config.stall_timeout;
+        let idle = config.idle_timeout;
         let max_payload = config.max_frame_bytes;
         std::thread::spawn(move || {
             let mut conn = reader_conn;
             loop {
-                match read_frame(&mut conn, stall, &shutdown, &registry, max_payload) {
+                match read_frame(&mut conn, stall, idle, &shutdown, &registry, max_payload) {
                     Ok((header, payload)) => {
-                        // Blocking send IS the back-pressure: a full
-                        // queue stops the reader, and the kernel buffer
-                        // stalls the client.
+                        // Gauge first, then the blocking send — the
+                        // worker only ever decrements what was already
+                        // counted. The send IS the back-pressure: a
+                        // full queue stops the reader, and the kernel
+                        // buffer stalls the client.
+                        registry.queue_depth.fetch_add(1, Ordering::Relaxed);
                         if tx.send(ReaderMsg::Frame(header, payload)).is_err() {
+                            registry.queue_depth.fetch_sub(1, Ordering::Relaxed);
                             return;
                         }
                     }
@@ -640,13 +964,17 @@ fn run_session(
         })
     };
 
-    let mut prev: Vec<StructureStats> = core.structure_stats().to_vec();
+    // Verdict deltas are computed against the stats at *connection*
+    // start: on a resume this is the parked cumulative state, so the
+    // global verdict counters never re-count work a previous
+    // connection already reported.
+    let mut prev: Vec<StructureStats> = state.core.structure_stats().to_vec();
     let mut deltas: Vec<(u64, u64, u64)> = Vec::with_capacity(prev.len());
     let mut records_scratch = Vec::new();
     // Once shutdown is observed the session may keep serving until the
     // drain budget runs out, then is told to go away.
     let mut drain_deadline: Option<Instant> = None;
-    let outcome = loop {
+    let end = loop {
         if shutdown.load(Ordering::SeqCst) || signal::requested() {
             let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain);
             if Instant::now() >= deadline {
@@ -655,107 +983,167 @@ fn run_session(
                     FrameType::Error,
                     WireError::Shutdown.to_string().as_bytes(),
                 );
-                break Outcome::Evicted;
+                break SessionEnd::Evicted;
             }
         }
         match rx.recv_timeout(TICK) {
-            Ok(ReaderMsg::Frame(header, payload)) => match header.frame_type {
-                FrameType::Records => {
-                    let t0 = Instant::now();
-                    records_scratch.clear();
-                    if let Err(e) = crate::protocol::decode_records(&payload, &mut records_scratch)
-                    {
+            Ok(ReaderMsg::Frame(header, payload)) => {
+                registry.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match header.frame_type {
+                    FrameType::Records => {
+                        let t0 = Instant::now();
+                        records_scratch.clear();
+                        let seq =
+                            match crate::protocol::decode_records(&payload, &mut records_scratch) {
+                                Ok(seq) => seq,
+                                Err(e) => {
+                                    // The frame passed its CRC, so this is
+                                    // not wire damage: fail, don't park.
+                                    registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    let _ = write_all_frame(
+                                        conn,
+                                        FrameType::Error,
+                                        e.to_string().as_bytes(),
+                                    );
+                                    break SessionEnd::Failed;
+                                }
+                            };
+                        if seq <= state.last_acked {
+                            // Duplicate from a resume replay: re-ack
+                            // without touching the replay state —
+                            // exactly-once is this branch.
+                            registry.frames_in.fetch_add(1, Ordering::Relaxed);
+                            registry.frames_replayed.fetch_add(1, Ordering::Relaxed);
+                            let reply = state.recall_summary(seq);
+                            if write_all_frame(conn, FrameType::Summary, &reply).is_err() {
+                                break SessionEnd::Parked;
+                            }
+                            continue;
+                        }
+                        if seq != state.last_acked + 1 {
+                            registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = write_all_frame(
+                                conn,
+                                FrameType::Error,
+                                WireError::SeqGap { acked: state.last_acked, got: seq }
+                                    .to_string()
+                                    .as_bytes(),
+                            );
+                            break SessionEnd::Failed;
+                        }
+                        let summary = state.core.feed(&records_scratch);
+                        state.last_acked = seq;
+                        registry.frames_in.fetch_add(1, Ordering::Relaxed);
+                        registry.frames_applied.fetch_add(1, Ordering::Relaxed);
+                        registry
+                            .records_in
+                            .fetch_add(records_scratch.len() as u64, Ordering::Relaxed);
+                        registry.accesses.fetch_add(summary.accesses, Ordering::Relaxed);
+                        deltas.clear();
+                        for (now, before) in state.core.structure_stats().iter().zip(&prev) {
+                            deltas.push((
+                                now.hits - before.hits,
+                                now.misses - before.misses,
+                                now.bypasses - before.bypasses,
+                            ));
+                        }
+                        registry.add_verdicts(&deltas);
+                        prev.clear();
+                        prev.extend_from_slice(state.core.structure_stats());
+                        let occ = state.core.occupancy();
+                        registry.set_session_gauge(
+                            id,
+                            SessionGauge {
+                                config: state.label.clone(),
+                                occupancy_tracked: occ.tracked,
+                                occupancy_capacity: occ.capacity,
+                                accesses: state.core.accesses(),
+                            },
+                        );
+                        let reply = crate::protocol::encode_summary(
+                            seq,
+                            [
+                                summary.accesses,
+                                summary.total_latency,
+                                summary.l1_hits,
+                                summary.misses,
+                                summary.bypassed,
+                            ],
+                        );
+                        state.remember_summary(seq, reply);
+                        if write_all_frame(conn, FrameType::Summary, &reply).is_err() {
+                            break SessionEnd::Parked;
+                        }
+                        registry.latency.observe(t0.elapsed().as_micros() as u64);
+                    }
+                    FrameType::Finish => {
+                        if let Some(stats) = &state.finished {
+                            // A client that lost the first Stats reply
+                            // asks again; serve the cached payload.
+                            let payload = stats.clone();
+                            let _ = write_all_frame(conn, FrameType::Stats, &payload);
+                            break SessionEnd::ReCompleted;
+                        }
+                        // Even if the reply write fails, the session
+                        // IS complete: the tombstone parked under
+                        // Completed lets the client's retry re-fetch
+                        // the cached Stats.
+                        let stats = state.core.stats_wire().encode();
+                        let _ = write_all_frame(conn, FrameType::Stats, &stats);
+                        state.finished = Some(stats);
+                        break SessionEnd::Completed;
+                    }
+                    FrameType::Summary | FrameType::Stats | FrameType::Error => {
                         registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
-                        break Outcome::Failed;
+                        let _ = write_all_frame(
+                            conn,
+                            FrameType::Error,
+                            WireError::Unexpected("server-to-client frame type from a client")
+                                .to_string()
+                                .as_bytes(),
+                        );
+                        break SessionEnd::Failed;
                     }
-                    let summary = core.feed(&records_scratch);
-                    registry.frames_in.fetch_add(1, Ordering::Relaxed);
-                    registry.records_in.fetch_add(records_scratch.len() as u64, Ordering::Relaxed);
-                    registry.accesses.fetch_add(summary.accesses, Ordering::Relaxed);
-                    deltas.clear();
-                    for (now, before) in core.structure_stats().iter().zip(&prev) {
-                        deltas.push((
-                            now.hits - before.hits,
-                            now.misses - before.misses,
-                            now.bypasses - before.bypasses,
-                        ));
-                    }
-                    registry.add_verdicts(&deltas);
-                    prev.clear();
-                    prev.extend_from_slice(core.structure_stats());
-                    let occ = core.occupancy();
-                    registry.set_session_gauge(
-                        id,
-                        SessionGauge {
-                            config: label.to_string(),
-                            occupancy_tracked: occ.tracked,
-                            occupancy_capacity: occ.capacity,
-                            accesses: core.accesses(),
-                        },
-                    );
-                    let reply = crate::protocol::encode_summary(
-                        summary.accesses,
-                        summary.total_latency,
-                        summary.l1_hits,
-                        summary.misses,
-                        summary.bypassed,
-                    );
-                    if write_all_frame(conn, FrameType::Summary, &reply).is_err() {
-                        break Outcome::Evicted;
-                    }
-                    registry.latency.observe(t0.elapsed().as_micros() as u64);
                 }
-                FrameType::Finish => {
-                    let stats = core.stats_wire().encode();
-                    let _ = write_all_frame(conn, FrameType::Stats, &stats);
-                    break Outcome::Completed;
-                }
-                FrameType::Summary | FrameType::Stats | FrameType::Error => {
-                    registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_all_frame(
-                        conn,
-                        FrameType::Error,
-                        WireError::Unexpected("server-to-client frame type from a client")
-                            .to_string()
-                            .as_bytes(),
-                    );
-                    break Outcome::Failed;
-                }
-            },
+            }
             Ok(ReaderMsg::Failed(e)) => {
+                if matches!(e, WireError::Crc { .. }) {
+                    registry.crc_errors.fetch_add(1, Ordering::Relaxed);
+                }
                 break match e {
-                    WireError::Stalled => {
+                    WireError::Stalled | WireError::Idle | WireError::Shutdown => {
                         let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
-                        Outcome::Evicted
+                        SessionEnd::Evicted
                     }
-                    WireError::Shutdown => {
-                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
-                        Outcome::Evicted
-                    }
-                    WireError::Closed | WireError::Torn { .. } | WireError::Io(_) => {
-                        // Mid-session disconnect: nothing to tell the
-                        // peer, the socket is gone.
+                    ref err if is_retryable(err) => {
                         registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        Outcome::Failed
+                        // Best effort: the socket may already be gone.
+                        let _ = write_all_frame(conn, FrameType::Error, e.to_string().as_bytes());
+                        SessionEnd::Parked
                     }
                     other => {
                         registry.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         let _ =
                             write_all_frame(conn, FrameType::Error, other.to_string().as_bytes());
-                        Outcome::Failed
+                        SessionEnd::Failed
                     }
                 };
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break Outcome::Failed,
+            Err(RecvTimeoutError::Disconnected) => break SessionEnd::Failed,
         }
     };
 
     // Unblock and reap the reader: closing the socket fails its read.
     conn.shutdown_both();
     let _ = reader.join();
-    outcome
+    // Frames the worker never consumed must not leak into the gauge.
+    while let Ok(msg) = rx.try_recv() {
+        if matches!(msg, ReaderMsg::Frame(..)) {
+            registry.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    (end, state)
 }
 
 /// Serve `GET /metrics` (HTTP/1.0, close-delimited). The `GET ` prefix

@@ -23,6 +23,8 @@ mod ffi {
     extern "C" {
         /// POSIX `signal(2)`; std links libc on every unix target.
         pub fn signal(signum: i32, handler: Handler) -> usize;
+        /// POSIX `raise(3)` — send a signal to this process.
+        pub fn raise(signum: i32) -> i32;
     }
 }
 
@@ -54,4 +56,15 @@ pub fn request() {
 /// Clear the flag (tests only — real servers exit after shutdown).
 pub fn reset() {
     SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Deliver a real signal to this process via `raise(3)`, exercising
+/// the installed handler end to end (drain tests). No-op off unix.
+pub fn raise(signum: i32) {
+    #[cfg(unix)]
+    unsafe {
+        ffi::raise(signum);
+    }
+    #[cfg(not(unix))]
+    let _ = signum;
 }

@@ -5,28 +5,48 @@
 //! reproduced offline), and reports sessions/sec, per-frame round-trip
 //! p50/p99 and dropped-frame counts.
 //!
+//! ## Retry and resume
+//!
+//! Each session survives connection loss: on a retryable failure —
+//! reset, torn frame, a CRC mismatch in either direction, a
+//! `STATUS_BUSY` shed — the client reconnects with its session token,
+//! learns the server's `last_acked` sequence number from the hello
+//! reply, and re-sends **only** the frames after it from its replay
+//! buffer (the deterministic trace itself, so the buffer costs
+//! nothing). Retries are bounded (`retries`) with exponential backoff
+//! plus deterministic jitter derived from the slam seed, honoring any
+//! `retry_after_ms=` hint the server attached to a BUSY reply.
+//!
 //! With `--verify`, after the slam finishes the server's `/metrics`
 //! page is scraped and its global verdict histogram compared against an
 //! offline replay of the exact same sessions through the same
 //! [`SessionCore`] — the counts must match **bit for bit**, proving the
-//! service path is the replay path.
+//! service path is the replay path *even across faults*: a chaos soak
+//! that loses or duplicates a single frame's worth of verdicts fails
+//! this check. The scrape can be pointed at a separate `metrics`
+//! endpoint so verification bypasses a chaos proxy sitting on the data
+//! path.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use trace_synth::{encode_record, profiles, Instr, Program};
+use trace_synth::{profiles, Instr, Program};
 
 use crate::protocol::{
-    decode_summary, encode_hello, parse_frame_header, FrameType, SessionStatsWire,
-    FRAME_HEADER_BYTES, MAGIC, STATUS_OK,
+    decode_summary, encode_frame, encode_hello, encode_records_payload, parse_frame_header,
+    parse_retry_after_ms, verify_frame_crc, FrameType, SessionStatsWire, FRAME_HEADER_BYTES, MAGIC,
+    STATUS_BUSY, STATUS_OK, VERSION,
 };
 use crate::server::{Conn, Endpoint};
 use crate::session::SessionCore;
 
 /// How long a slam client waits on a single read before giving up.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Backoff is capped here no matter the attempt count.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -45,8 +65,16 @@ pub struct SlamOptions {
     pub seed: u64,
     /// Outstanding unacknowledged frames per session (pipelining).
     pub window: usize,
+    /// Reconnect attempts per session after a retryable failure.
+    pub retries: u32,
+    /// Base backoff between attempts; doubles per attempt, jittered.
+    pub backoff_ms: u64,
     /// Scrape `/metrics` afterwards and compare with an offline replay.
     pub verify: bool,
+    /// Scrape endpoint for `--verify`; defaults to `endpoint`. Point it
+    /// at the server directly when the data path runs through `jsn
+    /// chaos`.
+    pub metrics: Option<Endpoint>,
 }
 
 impl Default for SlamOptions {
@@ -59,7 +87,10 @@ impl Default for SlamOptions {
             config: "HMNM4".to_string(),
             seed: 42,
             window: 4,
+            retries: 5,
+            backoff_ms: 50,
             verify: false,
+            metrics: None,
         }
     }
 }
@@ -82,14 +113,22 @@ pub struct SlamReport {
     pub sessions_failed: u64,
     /// First few failure descriptions.
     pub failures: Vec<String>,
-    /// `Records` frames sent across all sessions.
+    /// `Records` frames sent across all sessions (re-sends included).
     pub frames_sent: u64,
-    /// Summary frames received back.
+    /// Distinct frames confirmed applied — by a summary, or by the
+    /// server's resume watermark when the summary itself was lost to a
+    /// disconnect.
     pub frames_acked: u64,
-    /// Trace records streamed.
+    /// Trace records streamed (first sends only).
     pub records_sent: u64,
     /// Cache accesses acknowledged by the server.
     pub accesses_acked: u64,
+    /// Reconnect attempts made after retryable failures.
+    pub retries: u64,
+    /// Successful session resumes (reconnect accepted with a token).
+    pub resumes: u64,
+    /// Frames re-sent during resume replays.
+    pub frames_resent: u64,
     /// Wall-clock duration of the slam.
     pub elapsed: Duration,
     /// Median per-frame round trip (µs).
@@ -103,9 +142,12 @@ pub struct SlamReport {
 }
 
 impl SlamReport {
-    /// Frames sent but never acknowledged.
+    /// Distinct frames sent but never confirmed applied. Re-sends of
+    /// the same frame during resume replays count once: `frames_sent -
+    /// frames_resent` is the number of first transmissions, and each
+    /// is acked exactly once (by summary or resume watermark).
     pub fn dropped_frames(&self) -> u64 {
-        self.frames_sent.saturating_sub(self.frames_acked)
+        self.frames_sent.saturating_sub(self.frames_resent).saturating_sub(self.frames_acked)
     }
 }
 
@@ -141,141 +183,333 @@ fn connect(endpoint: &Endpoint) -> Result<Conn, String> {
     Ok(conn)
 }
 
-fn read_exact_client(conn: &mut Conn, buf: &mut [u8]) -> Result<(), String> {
-    conn.read_exact(buf).map_err(|e| format!("read: {e}"))
+/// A client-side failure, tagged with whether reconnect-and-resume can
+/// fix it.
+#[derive(Debug)]
+struct ClientError {
+    msg: String,
+    retryable: bool,
+    /// Server-suggested wait before the next attempt (BUSY replies).
+    retry_after_ms: Option<u64>,
 }
 
-/// Read the server's hello reply; `Ok` carries the status detail.
-fn read_hello_reply(conn: &mut Conn) -> Result<(), String> {
+impl ClientError {
+    fn fatal(msg: impl Into<String>) -> ClientError {
+        ClientError { msg: msg.into(), retryable: false, retry_after_ms: None }
+    }
+
+    fn retryable(msg: impl Into<String>) -> ClientError {
+        ClientError { msg: msg.into(), retryable: true, retry_after_ms: None }
+    }
+}
+
+fn read_exact_client(conn: &mut Conn, buf: &mut [u8]) -> Result<(), ClientError> {
+    // Any socket-level read failure is wire trouble: reconnectable.
+    conn.read_exact(buf).map_err(|e| ClientError::retryable(format!("read: {e}")))
+}
+
+/// Read the server's hello reply; `Ok` carries `(token, last_acked)`.
+///
+/// Every failure here is retryable: a rejected or garbled hello means
+/// the server created **no** session state (slots and state are only
+/// committed after an OK reply goes out), so reconnecting and saying
+/// hello again can never double-apply anything — and on a chaotic wire
+/// a "rejection" is as likely a corrupted hello as a real refusal. A
+/// genuinely fatal condition (bad preset, version mismatch) simply
+/// keeps failing until the retry budget runs out, with the server's
+/// reason in the final error.
+fn read_hello_reply(conn: &mut Conn) -> Result<(u64, u64), ClientError> {
     let mut fixed = [0u8; 7];
     read_exact_client(conn, &mut fixed)?;
     if fixed[..4] != MAGIC {
-        return Err(format!("hello reply has bad magic {:02x?}", &fixed[..4]));
+        return Err(ClientError::retryable(format!(
+            "hello reply has bad magic {:02x?}",
+            &fixed[..4]
+        )));
     }
+    let version = u16::from_le_bytes([fixed[4], fixed[5]]);
     let status = fixed[6];
     let mut len = [0u8; 2];
     read_exact_client(conn, &mut len)?;
     let mut detail = vec![0u8; u16::from_le_bytes(len) as usize];
     read_exact_client(conn, &mut detail)?;
-    if status != STATUS_OK {
-        return Err(format!(
-            "session refused (status {status}): {}",
-            String::from_utf8_lossy(&detail)
-        ));
+    let detail = String::from_utf8_lossy(&detail).into_owned();
+    if version != VERSION {
+        // The reply prefix is version-invariant, so this decodes
+        // cleanly into a named mismatch instead of shearing.
+        return Err(ClientError::retryable(format!(
+            "server speaks protocol v{version}, this client speaks v{VERSION}: {detail}"
+        )));
     }
-    Ok(())
+    match status {
+        STATUS_OK => {
+            // The OK trailer carries the rewind point; verify its CRC
+            // before trusting it — resuming from a corrupted
+            // `last_acked` would silently skip or replay frames.
+            let mut trailer = [0u8; 20];
+            read_exact_client(conn, &mut trailer)?;
+            let mut whole = Vec::with_capacity(25);
+            whole.extend_from_slice(&fixed);
+            whole.extend_from_slice(&len);
+            whole.extend_from_slice(&trailer[..16]);
+            let wire_crc = u32::from_le_bytes(trailer[16..].try_into().unwrap());
+            if trace_synth::crc32(&whole) != wire_crc {
+                return Err(ClientError::retryable("hello reply failed its crc".to_string()));
+            }
+            let token = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+            let last_acked = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+            Ok((token, last_acked))
+        }
+        STATUS_BUSY => Err(ClientError {
+            msg: format!("server busy: {detail}"),
+            retryable: true,
+            retry_after_ms: parse_retry_after_ms(&detail),
+        }),
+        _ => Err(ClientError::retryable(format!("session refused (status {status}): {detail}"))),
+    }
 }
 
-/// Read one server frame.
-fn read_server_frame(conn: &mut Conn) -> Result<(FrameType, Vec<u8>), String> {
+/// Read one server frame, verifying its CRC — a corrupted
+/// server-to-client frame must trigger reconnect, not a garbage decode.
+fn read_server_frame(conn: &mut Conn) -> Result<(FrameType, Vec<u8>), ClientError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     read_exact_client(conn, &mut header)?;
-    let parsed = parse_frame_header(&header, u32::MAX).map_err(|e| e.to_string())?;
+    let parsed =
+        parse_frame_header(&header, u32::MAX).map_err(|e| ClientError::retryable(e.to_string()))?;
     let mut payload = vec![0u8; parsed.payload_len as usize];
     read_exact_client(conn, &mut payload)?;
+    verify_frame_crc(&parsed, &payload).map_err(|e| ClientError::retryable(e.to_string()))?;
     Ok((parsed.frame_type, payload))
 }
 
+#[derive(Default)]
 struct SessionResult {
     frames_sent: u64,
     frames_acked: u64,
     records_sent: u64,
     accesses_acked: u64,
+    retries: u64,
+    resumes: u64,
+    frames_resent: u64,
     latencies_us: Vec<u64>,
     error: Option<String>,
 }
 
-/// Run one client session: stream `instrs` in frames with a pipelining
-/// window, collect per-frame round trips, finish with a `Stats` frame.
+/// Persistent client-side session state across connection attempts.
+struct ClientSession<'a> {
+    chunks: Vec<&'a [Instr]>,
+    config: &'a str,
+    window: usize,
+    /// Server-issued session token (0 until the first accepted hello).
+    token: u64,
+    /// Highest sequence number the server has acknowledged.
+    acked: u64,
+    /// Highest sequence number ever sent (for re-send accounting).
+    max_sent: u64,
+}
+
+/// One connection attempt: hello (possibly resuming), stream every
+/// unacked frame, finish, validate stats.
+fn run_attempt(
+    sess: &mut ClientSession<'_>,
+    endpoint: &Endpoint,
+    result: &mut SessionResult,
+) -> Result<(), ClientError> {
+    let mut conn = connect(endpoint).map_err(ClientError::retryable)?;
+    let resuming = sess.token != 0;
+    conn.write_all(&encode_hello(sess.config, sess.token))
+        .map_err(|e| ClientError::retryable(format!("hello: {e}")))?;
+    let (token, last_acked) = read_hello_reply(&mut conn)?;
+    sess.token = token;
+    // The server's ack watermark is authoritative: anything at or below
+    // it was applied exactly once; everything after must be (re)sent.
+    // A watermark ahead of what we saw acked means those summaries were
+    // lost to the disconnect — credit them now, or they would read as
+    // dropped frames.
+    if last_acked > sess.acked {
+        result.frames_acked += last_acked - sess.acked;
+    }
+    sess.acked = last_acked;
+    if resuming {
+        result.resumes += 1;
+    }
+
+    let total = sess.chunks.len() as u64;
+    let window = sess.window.max(1);
+    let mut in_flight: std::collections::VecDeque<(u64, Instant)> =
+        std::collections::VecDeque::new();
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+
+    let ack = |conn: &mut Conn,
+               sess: &mut ClientSession<'_>,
+               in_flight: &mut std::collections::VecDeque<(u64, Instant)>,
+               result: &mut SessionResult|
+     -> Result<(), ClientError> {
+        loop {
+            let (frame_type, payload) = read_server_frame(conn)?;
+            match frame_type {
+                FrameType::Summary => {
+                    let (seq, vals) =
+                        decode_summary(&payload).map_err(|e| ClientError::fatal(e.to_string()))?;
+                    // A duplicated Records frame on a chaotic wire
+                    // earns two summaries; anything at or below the
+                    // ack watermark is the stale echo — skip it.
+                    if seq <= sess.acked {
+                        continue;
+                    }
+                    let Some((want, t0)) = in_flight.pop_front() else {
+                        return Err(ClientError::fatal(format!(
+                            "unsolicited summary for seq {seq}"
+                        )));
+                    };
+                    if seq != want {
+                        return Err(ClientError::fatal(format!(
+                            "summary for seq {seq}, expected {want}"
+                        )));
+                    }
+                    sess.acked = seq;
+                    result.accesses_acked += vals[0];
+                    result.frames_acked += 1;
+                    result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    return Ok(());
+                }
+                FrameType::Error => {
+                    // The server names its reason; whether a resume
+                    // can help is decided by the reconnect hello (a
+                    // parked session resumes, an evicted or failed one
+                    // is rejected), so classify optimistically here.
+                    return Err(ClientError::retryable(format!(
+                        "server error: {}",
+                        String::from_utf8_lossy(&payload)
+                    )));
+                }
+                other => {
+                    return Err(ClientError::fatal(format!(
+                        "unexpected {other:?} frame while awaiting a summary"
+                    )));
+                }
+            }
+        }
+    };
+
+    for seq in (sess.acked + 1)..=total {
+        let chunk = sess.chunks[(seq - 1) as usize];
+        payload.clear();
+        encode_records_payload(seq, chunk, &mut payload);
+        frame.clear();
+        encode_frame(FrameType::Records, &payload, &mut frame);
+        conn.write_all(&frame).map_err(|e| ClientError::retryable(format!("send frame: {e}")))?;
+        result.frames_sent += 1;
+        if seq <= sess.max_sent {
+            result.frames_resent += 1;
+        } else {
+            sess.max_sent = seq;
+            result.records_sent += chunk.len() as u64;
+        }
+        in_flight.push_back((seq, Instant::now()));
+        while in_flight.len() >= window {
+            ack(&mut conn, sess, &mut in_flight, result)?;
+        }
+    }
+    while !in_flight.is_empty() {
+        ack(&mut conn, sess, &mut in_flight, result)?;
+    }
+
+    frame.clear();
+    encode_frame(FrameType::Finish, &[], &mut frame);
+    conn.write_all(&frame).map_err(|e| ClientError::retryable(format!("send finish: {e}")))?;
+    loop {
+        let (frame_type, stats_payload) = read_server_frame(&mut conn)?;
+        match frame_type {
+            FrameType::Summary => {
+                // A stale duplicate summary straggling in before the
+                // stats frame; ignore it.
+                continue;
+            }
+            FrameType::Stats => {
+                let stats = SessionStatsWire::decode(&stats_payload)
+                    .map_err(|e| ClientError::fatal(e.to_string()))?;
+                if stats.frames != total {
+                    return Err(ClientError::fatal(format!(
+                        "server applied {} frames, session has {total}",
+                        stats.frames
+                    )));
+                }
+                // Summaries that covered resumed frames are advisory;
+                // the final stats frame is the authoritative access
+                // count.
+                result.accesses_acked = stats.accesses;
+                return Ok(());
+            }
+            FrameType::Error => {
+                return Err(ClientError::retryable(format!(
+                    "server error at finish: {}",
+                    String::from_utf8_lossy(&stats_payload)
+                )));
+            }
+            other => {
+                return Err(ClientError::fatal(format!("unexpected {other:?} frame at finish")));
+            }
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter: attempt `a` waits
+/// `backoff_ms × 2^a` plus up to half that again, seeded so reruns
+/// reproduce the exact schedule.
+fn backoff_delay(backoff_ms: u64, attempt: u32, jitter_seed: u64) -> Duration {
+    let base = backoff_ms.max(1).saturating_mul(1u64 << attempt.min(16));
+    let jitter = splitmix64(jitter_seed ^ u64::from(attempt)) % (base / 2 + 1);
+    Duration::from_millis(base + jitter).min(MAX_BACKOFF)
+}
+
+/// Run one client session end to end: stream `instrs` in frames with a
+/// pipelining window, reconnecting and resuming across retryable
+/// failures, finishing with a validated `Stats` frame.
+#[allow(clippy::too_many_arguments)]
 fn run_client_session(
     endpoint: &Endpoint,
     config: &str,
     instrs: &[Instr],
     frame_records: usize,
     window: usize,
+    retries: u32,
+    backoff_ms: u64,
+    jitter_seed: u64,
 ) -> SessionResult {
-    let mut result = SessionResult {
-        frames_sent: 0,
-        frames_acked: 0,
-        records_sent: 0,
-        accesses_acked: 0,
-        latencies_us: Vec::new(),
-        error: None,
+    let mut result = SessionResult::default();
+    let mut sess = ClientSession {
+        chunks: instrs.chunks(frame_records.max(1)).collect(),
+        config,
+        window,
+        token: 0,
+        acked: 0,
+        max_sent: 0,
     };
-    let mut run = || -> Result<(), String> {
-        let mut conn = connect(endpoint)?;
-        conn.write_all(&encode_hello(config)).map_err(|e| format!("hello: {e}"))?;
-        read_hello_reply(&mut conn)?;
-
-        let window = window.max(1);
-        let mut in_flight: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
-        let mut frame =
-            Vec::with_capacity(frame_records * trace_synth::RECORD_BYTES + FRAME_HEADER_BYTES);
-        let ack = |conn: &mut Conn,
-                   in_flight: &mut std::collections::VecDeque<Instant>,
-                   result: &mut SessionResult|
-         -> Result<(), String> {
-            let (frame_type, payload) = read_server_frame(conn)?;
-            match frame_type {
-                FrameType::Summary => {
-                    let vals = decode_summary(&payload).map_err(|e| e.to_string())?;
-                    result.accesses_acked += vals[0];
-                    result.frames_acked += 1;
-                    if let Some(t0) = in_flight.pop_front() {
-                        result.latencies_us.push(t0.elapsed().as_micros() as u64);
-                    }
-                    Ok(())
-                }
-                FrameType::Error => {
-                    Err(format!("server error: {}", String::from_utf8_lossy(&payload)))
-                }
-                other => Err(format!("unexpected {other:?} frame while awaiting a summary")),
+    let mut attempt = 0u32;
+    loop {
+        match run_attempt(&mut sess, endpoint, &mut result) {
+            Ok(()) => break,
+            Err(e) if e.retryable && attempt < retries => {
+                result.retries += 1;
+                let delay = e
+                    .retry_after_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| backoff_delay(backoff_ms, attempt, jitter_seed));
+                std::thread::sleep(delay);
+                attempt += 1;
             }
-        };
-
-        for chunk in instrs.chunks(frame_records.max(1)) {
-            frame.clear();
-            frame.push(FrameType::Records as u8);
-            frame.extend_from_slice(
-                &((chunk.len() * trace_synth::RECORD_BYTES) as u32).to_le_bytes(),
-            );
-            for &instr in chunk {
-                encode_record(instr, &mut frame);
-            }
-            conn.write_all(&frame).map_err(|e| format!("send frame: {e}"))?;
-            in_flight.push_back(Instant::now());
-            result.frames_sent += 1;
-            result.records_sent += chunk.len() as u64;
-            while in_flight.len() >= window {
-                ack(&mut conn, &mut in_flight, &mut result)?;
+            Err(e) => {
+                result.error = Some(if e.retryable {
+                    format!("{} (after {} retries)", e.msg, result.retries)
+                } else {
+                    e.msg
+                });
+                break;
             }
         }
-        while !in_flight.is_empty() {
-            ack(&mut conn, &mut in_flight, &mut result)?;
-        }
-
-        let mut finish = Vec::new();
-        crate::protocol::encode_frame(FrameType::Finish, &[], &mut finish);
-        conn.write_all(&finish).map_err(|e| format!("send finish: {e}"))?;
-        let (frame_type, payload) = read_server_frame(&mut conn)?;
-        match frame_type {
-            FrameType::Stats => {
-                let stats = SessionStatsWire::decode(&payload).map_err(|e| e.to_string())?;
-                if stats.frames != result.frames_sent {
-                    return Err(format!(
-                        "server counted {} frames, client sent {}",
-                        stats.frames, result.frames_sent
-                    ));
-                }
-                Ok(())
-            }
-            FrameType::Error => {
-                Err(format!("server error at finish: {}", String::from_utf8_lossy(&payload)))
-            }
-            other => Err(format!("unexpected {other:?} frame at finish")),
-        }
-    };
-    result.error = run().err();
+    }
     result
 }
 
@@ -387,6 +621,9 @@ pub fn run_slam(opts: &SlamOptions) -> Result<SlamReport, String> {
                     &instrs,
                     opts.frame_records,
                     opts.window,
+                    opts.retries,
+                    opts.backoff_ms,
+                    splitmix64(opts.seed).wrapping_add(k as u64),
                 );
                 all_latencies
                     .lock()
@@ -420,6 +657,9 @@ pub fn run_slam(opts: &SlamOptions) -> Result<SlamReport, String> {
         report.frames_acked += r.frames_acked;
         report.records_sent += r.records_sent;
         report.accesses_acked += r.accesses_acked;
+        report.retries += r.retries;
+        report.resumes += r.resumes;
+        report.frames_resent += r.frames_resent;
         match r.error {
             None => report.sessions_ok += 1,
             Some(e) => {
@@ -433,7 +673,8 @@ pub fn run_slam(opts: &SlamOptions) -> Result<SlamReport, String> {
     report.sessions_per_sec = report.sessions_ok as f64 / elapsed.as_secs_f64().max(1e-9);
 
     if opts.verify {
-        let page = scrape_metrics(&opts.endpoint)?;
+        let scrape_endpoint = opts.metrics.as_ref().unwrap_or(&opts.endpoint);
+        let page = scrape_metrics(scrape_endpoint)?;
         report.verify = Some(verify_against_offline(opts, &page));
     }
     Ok(report)
@@ -459,6 +700,11 @@ pub fn format_report(report: &SlamReport) -> String {
         out,
         "records:  {} sent, {} accesses replayed",
         report.records_sent, report.accesses_acked
+    );
+    let _ = writeln!(
+        out,
+        "resume:   {} retries, {} resumes, {} frames resent",
+        report.retries, report.resumes, report.frames_resent
     );
     let _ = writeln!(
         out,
@@ -526,5 +772,15 @@ mod tests {
         let b = offline_verdicts(&opts).unwrap();
         assert_eq!(a, b);
         assert!(a.values().any(|&v| v > 0), "a 2k-record replay produces verdicts");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let a = backoff_delay(50, 0, 7);
+        let b = backoff_delay(50, 0, 7);
+        assert_eq!(a, b, "same seed and attempt reproduce the delay");
+        // Exponential floor: attempt 3 waits at least 8× the base.
+        assert!(backoff_delay(50, 3, 7) >= Duration::from_millis(400));
+        assert!(backoff_delay(50, 40, 7) <= MAX_BACKOFF);
     }
 }

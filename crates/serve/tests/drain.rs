@@ -1,0 +1,143 @@
+//! Satellite regression: SIGTERM drain during an in-flight *resumable*
+//! session. The signal is delivered for real via `raise(3)` so the
+//! installed handler runs end to end. After the drain window the
+//! server must evict the live session, exit its accept loop, and flush
+//! a final metrics snapshot whose exactly-once ledger reconciles:
+//! every frame that came in was either applied or replayed, never
+//! both, never neither.
+//!
+//! This lives in its own test binary because the shutdown flag is
+//! process-global: sharing a process with other server tests would
+//! shut them down too.
+
+use std::io::Write;
+use std::time::Duration;
+
+use mnm_serve::protocol::{encode_frame, encode_hello, encode_records_payload, FrameType};
+use mnm_serve::server::{Endpoint, Server, ServerConfig};
+use mnm_serve::signal;
+
+fn records_frame(seq: u64, n: usize) -> Vec<u8> {
+    use trace_synth::{Instr, InstrKind};
+    let instrs: Vec<Instr> = (0..n)
+        .map(|i| Instr {
+            pc: 0x40_0000 + i as u64 * 4,
+            kind: InstrKind::Load { addr: 0x1000_0000 + i as u64 * 64 },
+            src1: 0,
+            src2: 0,
+        })
+        .collect();
+    let mut payload = Vec::new();
+    encode_records_payload(seq, &instrs, &mut payload);
+    let mut frame = Vec::new();
+    encode_frame(FrameType::Records, &payload, &mut frame);
+    frame
+}
+
+/// Read the v2 hello reply off a raw socket, returning (status, token).
+fn read_hello(s: &mut std::net::TcpStream) -> (u8, u64) {
+    use std::io::Read;
+    let mut fixed = [0u8; 9];
+    s.read_exact(&mut fixed).expect("hello reply");
+    let status = fixed[6];
+    let detail_len = u16::from_le_bytes([fixed[7], fixed[8]]) as usize;
+    let mut detail = vec![0u8; detail_len];
+    s.read_exact(&mut detail).expect("detail");
+    let mut token = 0;
+    if status == mnm_serve::protocol::STATUS_OK {
+        let mut trailer = [0u8; 20];
+        s.read_exact(&mut trailer).expect("trailer");
+        token = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+    }
+    (status, token)
+}
+
+fn read_frame(s: &mut std::net::TcpStream) -> (u8, Vec<u8>) {
+    use std::io::Read;
+    let mut header = [0u8; 9];
+    s.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).expect("frame payload");
+    (header[0], payload)
+}
+
+fn scrape(page: &str, name: &str) -> u64 {
+    mnm_serve::metrics::scrape_value(page, name)
+        .unwrap_or_else(|| panic!("snapshot is missing {name}"))
+}
+
+#[test]
+fn sigterm_drain_snapshot_reconciles_exactly_once_ledger() {
+    let dir = std::env::temp_dir().join(format!("jsn-drain-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("final-metrics.txt");
+
+    signal::reset();
+    signal::install();
+
+    let config = ServerConfig {
+        drain: Duration::from_millis(400),
+        snapshot_path: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Endpoint::Tcp("127.0.0.1:0".to_string()), config).expect("bind");
+    let Endpoint::Tcp(addr) = server.local_endpoint() else { unreachable!() };
+    let join = std::thread::spawn(move || server.run());
+
+    // Phase 1: a session applies frame 1, then its connection dies —
+    // the state parks for resume.
+    let token = {
+        let mut s = std::net::TcpStream::connect(addr.as_str()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(&encode_hello("baseline", 0)).unwrap();
+        let (status, token) = read_hello(&mut s);
+        assert_eq!(status, mnm_serve::protocol::STATUS_OK);
+        s.write_all(&records_frame(1, 40)).unwrap();
+        let (t, _) = read_frame(&mut s);
+        assert_eq!(t, FrameType::Summary as u8);
+        token
+    };
+
+    // Phase 2: resume, replay frame 1 (the server re-acks it without
+    // re-applying), apply frame 2, and STAY CONNECTED mid-session.
+    let mut s = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(&encode_hello("baseline", token)).unwrap();
+    let (status, _) = read_hello(&mut s);
+    assert_eq!(status, mnm_serve::protocol::STATUS_OK);
+    s.write_all(&records_frame(1, 40)).unwrap();
+    let (t, _) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Summary as u8);
+    s.write_all(&records_frame(2, 25)).unwrap();
+    let (t, _) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Summary as u8);
+
+    // Phase 3: a real SIGTERM, handler and all. The session is still
+    // in flight; the drain window expires and the server must evict
+    // it, exit, and flush the snapshot.
+    signal::raise(signal::SIGTERM);
+    let (t, payload) = read_frame(&mut s);
+    assert_eq!(t, FrameType::Error as u8, "drained session is told why");
+    assert!(String::from_utf8_lossy(&payload).contains("shutting down"));
+    drop(s);
+
+    join.join().unwrap().expect("server run");
+    signal::reset();
+
+    // The snapshot, written through the atomic fsio writer, must
+    // reconcile the exactly-once ledger: frames in = applied +
+    // replayed, with the resume replay visible.
+    let page = std::fs::read_to_string(&snapshot).expect("snapshot flushed on SIGTERM");
+    assert_eq!(scrape(&page, "jsn_frames_applied_total"), 2, "frames 1 and 2, applied once each");
+    assert_eq!(scrape(&page, "jsn_frames_replayed_total"), 1, "the resume replay of frame 1");
+    assert_eq!(
+        scrape(&page, "jsn_frames_in_total"),
+        scrape(&page, "jsn_frames_applied_total") + scrape(&page, "jsn_frames_replayed_total"),
+        "every frame in was applied or replayed — none lost, none doubled"
+    );
+    assert_eq!(scrape(&page, "jsn_sessions_resumed_total"), 1);
+    assert_eq!(scrape(&page, "jsn_sessions_evicted_total"), 1, "the drained in-flight session");
+    assert_eq!(scrape(&page, "jsn_queue_depth"), 0, "no frame left behind in a queue");
+    let _ = std::fs::remove_dir_all(&dir);
+}

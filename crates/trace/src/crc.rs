@@ -1,0 +1,115 @@
+//! Table-driven CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), std-only.
+//!
+//! The `jsn serve` wire protocol checksums every frame with this CRC so
+//! that byte corruption on the wire — a flipped bit in a record payload,
+//! a duplicated or sheared write from a broken middlebox — is *detected*
+//! rather than silently mis-decoded into plausible-looking trace
+//! records. The table lives here, next to the record codec, because the
+//! trace encoding is the unit the checksum protects: a `Records` frame
+//! is this crate's fixed-width records behind a checksummed header.
+//!
+//! The implementation is the classic reflected table-driven byte-at-a-
+//! time loop; the 256-entry table is built at compile time.
+
+/// The 256-entry reflected lookup table for polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// An incremental CRC-32 over a byte stream.
+///
+/// Use [`crc32`] for one-shot slices; use this when a frame is hashed
+/// in pieces (header bytes, then payload) without concatenating.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum (state `0xFFFFFFFF`).
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The finalized (bit-inverted) CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer vectors for the IEEE CRC-32 — the same values every
+    /// zlib/PNG/Ethernet implementation produces.
+    #[test]
+    fn known_answer_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0x00]), 0xD202_EF8D);
+        assert_eq!(crc32(&[0xFF; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 100, 4095, 4096] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_crc() {
+        let data = [0x5Au8; 64];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data;
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at {byte}:{bit} went undetected");
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! assert_eq!(instrs, replay);
 //! ```
 
+mod crc;
 mod io;
 mod program;
 mod record;
@@ -46,6 +47,7 @@ mod stats;
 pub mod profiles;
 pub mod sharing;
 
+pub use crc::{crc32, Crc32};
 pub use io::{decode_record, encode_record, read_trace, write_trace, TraceIoError, RECORD_BYTES};
 pub use program::{AppCategory, AppProfile, PhaseDrift, Program, RegionSpec};
 pub use record::{Instr, InstrKind};

@@ -15,6 +15,8 @@
 //!                                            trace-stream replay service
 //! jsn slam [--connect EP] [--sessions N] [--verify] ...
 //!                                            load-generate against a server
+//! jsn chaos --upstream EP [--listen EP] [--log FILE] [--plan PLAN]
+//!                                            deterministic fault proxy
 //! jsn help                                   this text
 //! ```
 //!
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         Some("check") => return cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("slam") => return cmd_slam(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("shard") => return cmd_shard(&args[1..]),
         Some("help") | None => {
             print_help();
@@ -108,19 +111,38 @@ fn print_help() {
          \n\
          serve runs a long-lived trace-stream replay service:\n  \
          jsn serve [--listen EP] [--max-sessions N] [--queue FRAMES]\n            \
-         [--max-frame BYTES] [--stall-ms MS] [--drain-ms MS]\n            \
-         [--snapshot FILE]\n\
+         [--max-frame BYTES] [--stall-ms MS] [--idle-ms MS]\n            \
+         [--resume-window-ms MS] [--max-parked N] [--shed-watermark N]\n            \
+         [--retry-after-ms MS] [--drain-ms MS] [--snapshot FILE]\n\
          EP is <host>:<port> or unix:<path> (default 127.0.0.1:7227).\n\
          Each connection gets its own hierarchy + filter preset; scrape\n\
          GET /metrics on the same endpoint for live counters. SIGTERM or\n\
          ctrl-c drains sessions and flushes a final metrics snapshot.\n\
+         Protocol v2: every frame is CRC32-checked, interrupted sessions\n\
+         park for --resume-window-ms and resume exactly-once by token,\n\
+         idle sessions are evicted after --idle-ms, and new hellos get\n\
+         STATUS_BUSY with a retry_after_ms hint while the worker queue\n\
+         sits at or above --shed-watermark.\n\
          \n\
          slam load-generates against a running server:\n  \
          jsn slam [--connect EP] [--sessions N] [--records N] [--frame N]\n           \
-         [--config LABEL] [--seed S] [--window N] [--verify]\n\
-         --verify scrapes /metrics afterwards and requires the verdict\n\
-         histogram to be bit-identical to an offline replay of the same\n\
-         seeds (exit 1 otherwise)."
+         [--config LABEL] [--seed S] [--window N] [--retries N]\n           \
+         [--backoff-ms MS] [--metrics EP] [--verify]\n\
+         Connections that die mid-session reconnect with exponential\n\
+         backoff (deterministic jitter) and resume from the server's\n\
+         acked frame. --verify scrapes /metrics afterwards (from\n\
+         --metrics EP if given, e.g. around a chaos proxy) and requires\n\
+         the verdict histogram to be bit-identical to an offline replay\n\
+         of the same seeds (exit 1 otherwise).\n\
+         \n\
+         chaos relays slam <-> serve traffic while injecting seeded,\n\
+         reproducible faults:\n  \
+         jsn chaos --upstream EP [--listen EP] [--log FILE] [--plan P]\n\
+         The plan (or the JSN_CHAOS env var) reads like JSN_FAULT:\n  \
+         seed=42,tear=1/24,delay=1/16:5,drop=1/64,corrupt=1/24,dup=1/32\n\
+         Faults fire at byte offsets decided purely by the seed, so a\n\
+         rerun fires the identical sequence; every fired fault is logged\n\
+         to --log sorted for diffing. See EXPERIMENTS.md."
     );
 }
 
@@ -545,6 +567,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     "--stall-ms",
                 )?);
             }
+            "--idle-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(parse_flag_num(
+                    value("--idle-ms")?,
+                    "--idle-ms",
+                )?);
+            }
+            "--resume-window-ms" => {
+                config.resume_window = std::time::Duration::from_millis(parse_flag_num(
+                    value("--resume-window-ms")?,
+                    "--resume-window-ms",
+                )?);
+            }
+            "--max-parked" => {
+                config.max_parked = parse_flag_num(value("--max-parked")?, "--max-parked")?;
+            }
+            "--shed-watermark" => {
+                config.shed_watermark =
+                    Some(parse_flag_num(value("--shed-watermark")?, "--shed-watermark")?);
+            }
+            "--retry-after-ms" => {
+                config.retry_after_ms =
+                    parse_flag_num(value("--retry-after-ms")?, "--retry-after-ms")?;
+            }
             "--drain-ms" => {
                 config.drain = std::time::Duration::from_millis(parse_flag_num(
                     value("--drain-ms")?,
@@ -599,6 +644,11 @@ fn run_slam_cli(args: &[String]) -> Result<ExitCode, String> {
             "--config" => opts.config = value("--config")?.clone(),
             "--seed" => opts.seed = parse_seed(value("--seed")?)?,
             "--window" => opts.window = parse_flag_num(value("--window")?, "--window")?,
+            "--retries" => opts.retries = parse_flag_num(value("--retries")?, "--retries")?,
+            "--backoff-ms" => {
+                opts.backoff_ms = parse_flag_num(value("--backoff-ms")?, "--backoff-ms")?;
+            }
+            "--metrics" => opts.metrics = Some(Endpoint::parse(value("--metrics")?)?),
             "--verify" => opts.verify = true,
             other => return Err(format!("unknown slam option `{other}` (try `jsn help`)")),
         }
@@ -609,6 +659,53 @@ fn run_slam_cli(args: &[String]) -> Result<ExitCode, String> {
     let verify_failed = report.verify.as_ref().is_some_and(|v| !v.mismatches.is_empty());
     let ok = report.sessions_failed == 0 && report.dropped_frames() == 0 && !verify_failed;
     Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// `jsn chaos`: the deterministic network-fault proxy. Sits between
+/// `jsn slam` and `jsn serve`; the plan comes from `--plan` or the
+/// JSN_CHAOS env var (same strict grammar). With no plan it relays
+/// clean — useful for measuring the proxy's own overhead.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use just_say_no::mnm_serve::chaos::{ChaosOptions, ChaosPlan, ChaosProxy};
+    use just_say_no::mnm_serve::server::Endpoint;
+    use just_say_no::mnm_serve::signal;
+
+    let mut listen = Endpoint::Tcp("127.0.0.1:7228".to_string());
+    let mut upstream: Option<Endpoint> = None;
+    let mut log_path: Option<std::path::PathBuf> = None;
+    let mut plan_text: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Endpoint::parse(value("--listen")?)?,
+            "--upstream" => upstream = Some(Endpoint::parse(value("--upstream")?)?),
+            "--log" => log_path = Some(std::path::PathBuf::from(value("--log")?)),
+            "--plan" => plan_text = Some(value("--plan")?.clone()),
+            other => return Err(format!("unknown chaos option `{other}` (try `jsn help`)")),
+        }
+    }
+    let upstream = upstream.ok_or("chaos needs `--upstream <endpoint>` (the real server)")?;
+    let plan = match plan_text {
+        Some(text) => ChaosPlan::parse(&text)?,
+        None => ChaosPlan::from_env()?.unwrap_or(ChaosPlan::parse("")?),
+    };
+
+    signal::install();
+    let proxy = ChaosProxy::bind(ChaosOptions {
+        listen: listen.clone(),
+        upstream,
+        plan: plan.clone(),
+        log_path,
+    })
+    .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let handle = proxy.handle();
+    eprintln!("jsn chaos: listening on {} — {}", proxy.local_endpoint(), plan.summary());
+    proxy.run().map_err(|e| format!("chaos proxy error: {e}"))?;
+    eprintln!("jsn chaos: fired {} fault(s)", handle.fired().len());
+    Ok(())
 }
 
 /// Strict numeric flag parsing: the whole value must parse.
